@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment X-ablate -- design-choice ablations DESIGN.md calls
+ * out, all on the 2-thread MIX cell (where DCRA's mechanisms are
+ * most visible):
+ *
+ *  1. sharing-factor mode (paper section 5.3 explored 1/T, 1/(T+4),
+ *     0 per latency);
+ *  2. activity threshold Y (paper tried 64..8192, picked 256);
+ *  3. phase classifier source: pending L1D misses (paper's choice)
+ *     vs pending L2 misses only;
+ *  4. formula vs lookup-table sharing model (must tie).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/metrics.hh"
+
+namespace {
+
+using namespace smt;
+using namespace smtbench;
+
+double
+mixHmean(const PolicyParams &pp)
+{
+    SimConfig cfg;
+    cfg.policy = pp;
+    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
+    double h = 0.0;
+    h += ctx.runCell(2, WorkloadType::MIX, PolicyKind::Dcra).hmean;
+    h += ctx.runCell(3, WorkloadType::MIX, PolicyKind::Dcra).hmean;
+    return h / 2.0;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    banner("Ablations", "DCRA design choices on MIX2+MIX3 cells");
+
+    {
+        std::printf("1) sharing factor mode (300-cycle memory)\n");
+        TextTable t;
+        t.header({"C", "avg MIX hmean"});
+        for (const auto mode : {SharingFactorMode::OverActive,
+                                SharingFactorMode::OverActivePlus4,
+                                SharingFactorMode::Zero}) {
+            PolicyParams pp;
+            pp.iqSharingMode = mode;
+            pp.regSharingMode = mode;
+            t.row({sharingFactorModeName(mode),
+                   TextTable::fmt(mixHmean(pp), 3)});
+        }
+        std::printf("%s(paper picks 1/(FA+SA+4) at 300 cycles)\n\n",
+                    t.str().c_str());
+    }
+
+    {
+        std::printf("2) activity threshold Y\n");
+        TextTable t;
+        t.header({"Y", "avg MIX hmean"});
+        for (const Cycle y : {64u, 256u, 1024u, 8192u}) {
+            PolicyParams pp;
+            pp.activityThreshold = y;
+            t.row({std::to_string(y),
+                   TextTable::fmt(mixHmean(pp), 3)});
+        }
+        std::printf("%s(paper picks 256)\n\n", t.str().c_str());
+    }
+
+    {
+        std::printf("3) phase classifier source\n");
+        TextTable t;
+        t.header({"slow when", "avg MIX hmean"});
+        PolicyParams l1;
+        t.row({"pending L1D miss (paper)",
+               TextTable::fmt(mixHmean(l1), 3)});
+        PolicyParams l2;
+        l2.dcraSlowOnL2Only = true;
+        t.row({"pending L2 miss only",
+               TextTable::fmt(mixHmean(l2), 3)});
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    {
+        std::printf("4) formula vs lookup table (must tie)\n");
+        PolicyParams formula;
+        PolicyParams lut;
+        lut.useLookupTable = true;
+        const double a = mixHmean(formula);
+        const double b = mixHmean(lut);
+        std::printf("formula %.4f vs LUT %.4f -> %s\n", a, b,
+                    a == b ? "identical" : "DIFFER");
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment X-deg -- the paper's stated future work (section 5.2):
+ * detecting degenerate cases like mcf, where borrowing more
+ * resources raises a thread's overlapping misses but barely moves
+ * overall performance while taxing the other threads. DCRA-DEG
+ * denies borrowing to threads that stay slow without progressing.
+ *
+ * Shape target: DCRA-DEG recovers some throughput/fairness on the
+ * MEM cells containing mcf (where the paper loses to FLUSH++) while
+ * staying within noise of DCRA elsewhere.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/metrics.hh"
+
+int
+main()
+{
+    using namespace smt;
+    using namespace smtbench;
+
+    banner("Extra: degenerate cases",
+           "DCRA vs DCRA-DEG (paper section 5.2 future work)");
+
+    SimConfig cfg;
+    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
+
+    TextTable out;
+    out.header({"cell", "DCRA thr", "DEG thr", "thr +%",
+                "DCRA hmean", "DEG hmean", "hmean +%"});
+
+    int nCells = 0;
+    const Cell *cells = allCells(nCells);
+    double memGain = 0.0;
+    int memCells = 0;
+    for (int i = 0; i < nCells; ++i) {
+        const auto dcra = ctx.runCell(cells[i].threads,
+                                      cells[i].type,
+                                      PolicyKind::Dcra);
+        const auto deg = ctx.runCell(cells[i].threads, cells[i].type,
+                                     PolicyKind::DcraDeg);
+        const double tg =
+            improvementPct(deg.throughput, dcra.throughput);
+        const double hg = improvementPct(deg.hmean, dcra.hmean);
+        if (cells[i].type == WorkloadType::MEM) {
+            memGain += hg;
+            ++memCells;
+        }
+        out.row({cellName(cells[i]),
+                 TextTable::fmt(dcra.throughput, 3),
+                 TextTable::fmt(deg.throughput, 3),
+                 TextTable::fmt(tg, 1), TextTable::fmt(dcra.hmean, 3),
+                 TextTable::fmt(deg.hmean, 3),
+                 TextTable::fmt(hg, 1)});
+    }
+    std::printf("%s\n", out.str().c_str());
+    std::printf("average Hmean change on MEM cells (where mcf-style "
+                "degenerate threads live): %+.1f%%\n",
+                memGain / memCells);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment F4 -- paper Figure 4: throughput and Hmean improvement
+ * of DCRA over static resource allocation (SRA), per workload cell
+ * and on average.
+ *
+ * Shape targets: DCRA above SRA for (nearly) all cells, the largest
+ * gains on MIX workloads, averages in the high single digits
+ * (paper: +7% throughput, +8% Hmean).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/metrics.hh"
+
+int
+main()
+{
+    using namespace smt;
+    using namespace smtbench;
+
+    banner("Figure 4", "DCRA vs static resource allocation");
+
+    SimConfig cfg;
+    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
+
+    TextTable out;
+    out.header({"cell", "SRA thr", "DCRA thr", "thr +%", "SRA hmean",
+                "DCRA hmean", "hmean +%"});
+
+    int nCells = 0;
+    const Cell *cells = allCells(nCells);
+    double thrGain = 0.0, hmeanGain = 0.0, mixHmeanGain = 0.0;
+    int mixCells = 0;
+
+    for (int i = 0; i < nCells; ++i) {
+        const auto sra =
+            ctx.runCell(cells[i].threads, cells[i].type,
+                        PolicyKind::Sra);
+        const auto dcra =
+            ctx.runCell(cells[i].threads, cells[i].type,
+                        PolicyKind::Dcra);
+        const double tg =
+            improvementPct(dcra.throughput, sra.throughput);
+        const double hg = improvementPct(dcra.hmean, sra.hmean);
+        thrGain += tg;
+        hmeanGain += hg;
+        if (cells[i].type == WorkloadType::MIX) {
+            mixHmeanGain += hg;
+            ++mixCells;
+        }
+        out.row({cellName(cells[i]),
+                 TextTable::fmt(sra.throughput, 3),
+                 TextTable::fmt(dcra.throughput, 3),
+                 TextTable::fmt(tg, 1),
+                 TextTable::fmt(sra.hmean, 3),
+                 TextTable::fmt(dcra.hmean, 3),
+                 TextTable::fmt(hg, 1)});
+    }
+
+    std::printf("%s\n", out.str().c_str());
+    std::printf("average improvement of DCRA over SRA: "
+                "throughput %+.1f%% (paper: +7%%), "
+                "Hmean %+.1f%% (paper: +8%%)\n",
+                thrGain / nCells, hmeanGain / nCells);
+    std::printf("average Hmean gain on MIX cells: %+.1f%% "
+                "(paper: largest gains on MIX)\n",
+                mixHmeanGain / mixCells);
+    return 0;
+}

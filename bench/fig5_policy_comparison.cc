@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment F5 -- paper Figure 5: (a) raw IPC throughput of ICOUNT,
+ * DG, FLUSH++ and DCRA per workload cell; (b) Hmean improvement of
+ * DCRA over each.
+ *
+ * Shape targets: DCRA achieves the best or near-best throughput
+ * everywhere except possibly FLUSH++ on MEM cells; Hmean
+ * improvements are large over ICOUNT and DG and small over FLUSH++
+ * (paper averages: ICOUNT +18%, DG +41%, FLUSH++ +4%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/metrics.hh"
+
+int
+main()
+{
+    using namespace smt;
+    using namespace smtbench;
+
+    banner("Figure 5", "DCRA vs resource-conscious fetch policies");
+
+    SimConfig cfg;
+    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
+
+    const PolicyKind kinds[] = {PolicyKind::Icount,
+                                PolicyKind::DataGating,
+                                PolicyKind::FlushPp,
+                                PolicyKind::Dcra};
+    const int nKinds = 4;
+
+    int nCells = 0;
+    const Cell *cells = allCells(nCells);
+
+    ExperimentContext::CellAverage res[9][4];
+    for (int i = 0; i < nCells; ++i) {
+        for (int k = 0; k < nKinds; ++k) {
+            res[i][k] = ctx.runCell(cells[i].threads, cells[i].type,
+                                    kinds[k]);
+        }
+    }
+
+    std::printf("(a) IPC throughput\n");
+    TextTable ta;
+    ta.header({"cell", "ICOUNT", "DG", "FLUSH++", "DCRA"});
+    for (int i = 0; i < nCells; ++i) {
+        ta.row({cellName(cells[i]),
+                TextTable::fmt(res[i][0].throughput, 3),
+                TextTable::fmt(res[i][1].throughput, 3),
+                TextTable::fmt(res[i][2].throughput, 3),
+                TextTable::fmt(res[i][3].throughput, 3)});
+    }
+    std::printf("%s\n", ta.str().c_str());
+
+    std::printf("(b) Hmean improvement of DCRA over each policy "
+                "(%%)\n");
+    TextTable tb;
+    tb.header({"cell", "vs ICOUNT", "vs DG", "vs FLUSH++"});
+    double avg[3] = {};
+    for (int i = 0; i < nCells; ++i) {
+        std::vector<std::string> row = {cellName(cells[i])};
+        for (int k = 0; k < 3; ++k) {
+            const double imp = improvementPct(res[i][3].hmean,
+                                              res[i][k].hmean);
+            avg[k] += imp;
+            row.push_back(TextTable::fmt(imp, 1));
+        }
+        tb.row(std::move(row));
+    }
+    std::printf("%s\n", tb.str().c_str());
+
+    std::printf("average Hmean improvement of DCRA: "
+                "vs ICOUNT %+.1f%% (paper +18%%), "
+                "vs DG %+.1f%% (paper +41%%), "
+                "vs FLUSH++ %+.1f%% (paper +4%%)\n",
+                avg[0] / nCells, avg[1] / nCells, avg[2] / nCells);
+
+    double thrAvg[4] = {};
+    for (int i = 0; i < nCells; ++i)
+        for (int k = 0; k < nKinds; ++k)
+            thrAvg[k] += res[i][k].throughput;
+    std::printf("average throughput: ICOUNT %.3f, DG %.3f, "
+                "FLUSH++ %.3f, DCRA %.3f (paper: DCRA beats ICOUNT "
+                "by 24%%, DG by 30%%, FLUSH++ by 1%%)\n",
+                thrAvg[0] / nCells, thrAvg[1] / nCells,
+                thrAvg[2] / nCells, thrAvg[3] / nCells);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment T1 -- paper Table 1: pre-calculated resource allocation
+ * values for a 32-entry resource on a 4-thread processor. Pure
+ * sharing-model math; the printed values must match the paper
+ * exactly (unit tests pin them).
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "policy/sharing_model.hh"
+
+int
+main()
+{
+    using namespace smt;
+
+    std::printf("Table 1: E_slow for a 32-entry resource, 4-thread "
+                "processor\n");
+    std::printf("sharing factor C = 1/(FA+SA) (paper Table 1)\n\n");
+
+    const SharingModel model(SharingFactorMode::OverActive);
+    const SharingModelTable table(SharingFactorMode::OverActive, 32,
+                                  4);
+
+    struct Row { int fa, sa, paper; };
+    const Row rows[] = {
+        {0, 1, 32}, {1, 1, 24}, {0, 2, 16}, {2, 1, 18}, {1, 2, 14},
+        {0, 3, 11}, {3, 1, 14}, {2, 2, 12}, {1, 3, 10}, {0, 4, 8},
+    };
+
+    TextTable out;
+    out.header({"entry", "FA", "SA", "Eslow(formula)", "Eslow(LUT)",
+                "paper", "match"});
+    int entry = 1;
+    bool allMatch = true;
+    for (const Row &r : rows) {
+        const int formula = model.slowLimit(32, r.fa, r.sa);
+        const int lut = table.slowLimit(r.fa, r.sa);
+        const bool ok = formula == r.paper && lut == r.paper;
+        allMatch &= ok;
+        out.row({std::to_string(entry++), std::to_string(r.fa),
+                 std::to_string(r.sa), std::to_string(formula),
+                 std::to_string(lut), std::to_string(r.paper),
+                 ok ? "yes" : "NO"});
+    }
+    std::printf("%s\n", out.str().c_str());
+    std::printf("all 10 entries match the paper: %s\n",
+                allMatch ? "yes" : "NO");
+    std::printf("lookup-table entries for a 4-context processor: "
+                "%d (paper: 10)\n", table.populatedEntries());
+    return allMatch ? 0 : 1;
+}

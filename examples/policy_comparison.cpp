@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compare every implemented policy on one workload. Demonstrates the
+ * ExperimentContext API: single-thread baselines are computed and
+ * cached automatically, and each run reports both raw throughput and
+ * the Hmean throughput/fairness balance.
+ *
+ * Usage: policy_comparison [bench1 bench2 ...]
+ * Default workload: gzip + twolf (the paper's MIX2 group 1).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace smt;
+
+    std::vector<std::string> benches;
+    for (int i = 1; i < argc; ++i)
+        benches.emplace_back(argv[i]);
+    if (benches.empty())
+        benches = {"gzip", "twolf"};
+
+    SimConfig cfg; // paper Table 2 baseline
+    ExperimentContext ctx(cfg, 60'000, 10'000);
+
+    Workload w;
+    w.id = "custom";
+    w.numThreads = static_cast<int>(benches.size());
+    w.type = WorkloadType::MIX;
+    w.group = 0;
+    w.benches = benches;
+
+    std::printf("workload:");
+    for (const auto &b : benches)
+        std::printf(" %s", b.c_str());
+    std::printf("\n\n%-12s %10s %8s  per-thread IPC\n", "policy",
+                "throughput", "hmean");
+
+    const PolicyKind kinds[] = {
+        PolicyKind::RoundRobin, PolicyKind::Icount,
+        PolicyKind::Stall, PolicyKind::Flush, PolicyKind::FlushPp,
+        PolicyKind::DataGating, PolicyKind::Pdg, PolicyKind::Sra,
+        PolicyKind::Dcra,
+    };
+    for (const PolicyKind k : kinds) {
+        const RunSummary s = ctx.runWorkload(w, k);
+        std::printf("%-12s %10.3f %8.3f ", policyKindName(k),
+                    s.throughput, s.hmean);
+        for (std::size_t i = 0; i < benches.size(); ++i)
+            std::printf(" %s=%.3f", benches[i].c_str(),
+                        s.multiIpc[i]);
+        std::printf("\n");
+    }
+
+    std::printf("\nsingle-thread baselines:");
+    for (const auto &b : benches)
+        std::printf(" %s=%.3f", b.c_str(), ctx.singleThreadIpc(b));
+    std::printf("\n");
+    return 0;
+}

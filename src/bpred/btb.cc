@@ -1,0 +1,70 @@
+#include "bpred/btb.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+Btb::Btb(int entries_, int assoc_)
+    : entries(static_cast<std::size_t>(entries_)),
+      sets(entries_ / assoc_),
+      assoc(assoc_)
+{
+    SMT_ASSERT(entries_ > 0 && entries_ % assoc_ == 0,
+               "BTB entries must divide by associativity");
+    SMT_ASSERT((sets & (sets - 1)) == 0,
+               "BTB set count must be a power of two");
+}
+
+int
+Btb::setOf(Addr pc) const
+{
+    return static_cast<int>((pc >> 2) & Addr(sets - 1));
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return pc >> 2;
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target)
+{
+    Entry *base = &entries[static_cast<std::size_t>(setOf(pc)) *
+                           assoc];
+    for (int w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tagOf(pc)) {
+            base[w].lruStamp = ++stampCounter;
+            target = base[w].target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *base = &entries[static_cast<std::size_t>(setOf(pc)) *
+                           assoc];
+    Entry *victim = &base[0];
+    for (int w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].tag == tagOf(pc)) {
+            base[w].target = target;
+            base[w].lruStamp = ++stampCounter;
+            return;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tagOf(pc);
+    victim->target = target;
+    victim->lruStamp = ++stampCounter;
+}
+
+} // namespace smt

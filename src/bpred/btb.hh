@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Branch target buffer, 256 entries, 4-way associative (paper
+ * Table 2). Shared across threads; aliasing between threads is part
+ * of the model.
+ */
+
+#ifndef DCRA_SMT_BPRED_BTB_HH
+#define DCRA_SMT_BPRED_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/**
+ * Set-associative target buffer with LRU replacement.
+ */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two).
+     * @param assoc ways per set.
+     */
+    Btb(int entries, int assoc);
+
+    /**
+     * Look up the predicted target for a branch.
+     * @return true and sets target on hit.
+     */
+    bool lookup(Addr pc, Addr &target);
+
+    /** Install or refresh a target. */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    int setOf(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    std::vector<Entry> entries;
+    int sets;
+    int assoc;
+    std::uint64_t stampCounter = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_BPRED_BTB_HH

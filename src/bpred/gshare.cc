@@ -1,0 +1,50 @@
+#include "bpred/gshare.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+Gshare::Gshare(int entries, int histBits, int numThreads)
+    : pht(static_cast<std::size_t>(entries), 2), // weakly taken
+      hist(static_cast<std::size_t>(numThreads), 0),
+      mask(entries - 1),
+      histMask((histBits >= 32) ? ~History(0)
+                                : ((History(1) << histBits) - 1))
+{
+    SMT_ASSERT(entries > 0 && (entries & (entries - 1)) == 0,
+               "gshare entries must be a power of two");
+    SMT_ASSERT(histBits > 0 && histBits <= 32, "bad history length");
+}
+
+int
+Gshare::index(Addr pc, History h) const
+{
+    return static_cast<int>(((pc >> 2) ^ h) & Addr(mask));
+}
+
+bool
+Gshare::predict(ThreadID tid, Addr pc) const
+{
+    return pht[index(pc, hist[tid])] >= 2;
+}
+
+void
+Gshare::pushHistory(ThreadID tid, bool taken)
+{
+    hist[tid] = ((hist[tid] << 1) | History(taken)) & histMask;
+}
+
+void
+Gshare::update(Addr pc, History fetchHist, bool taken)
+{
+    std::uint8_t &ctr = pht[index(pc, fetchHist)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * gshare direction predictor (paper Table 2: 16K entries). The
+ * pattern history table is shared by all SMT contexts; the global
+ * history register is per thread. History is updated speculatively at
+ * prediction time and repaired on squash via snapshots carried by
+ * in-flight instructions.
+ */
+
+#ifndef DCRA_SMT_BPRED_GSHARE_HH
+#define DCRA_SMT_BPRED_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/**
+ * Shared-PHT, per-thread-history gshare predictor.
+ */
+class Gshare
+{
+  public:
+    /** History snapshot type carried by in-flight branches. */
+    using History = std::uint32_t;
+
+    /**
+     * @param entries PHT size (power of two).
+     * @param histBits global history length.
+     * @param numThreads hardware contexts.
+     */
+    Gshare(int entries, int histBits, int numThreads);
+
+    /** Predict direction for a conditional branch. */
+    bool predict(ThreadID tid, Addr pc) const;
+
+    /** Current speculative history of a thread. */
+    History history(ThreadID tid) const { return hist[tid]; }
+
+    /** Shift a (predicted) outcome into the speculative history. */
+    void pushHistory(ThreadID tid, bool taken);
+
+    /** Restore a thread's history to a snapshot. */
+    void setHistory(ThreadID tid, History h) { hist[tid] = h; }
+
+    /**
+     * Train the PHT with the resolved outcome.
+     * @param fetchHist history the branch was fetched with.
+     */
+    void update(Addr pc, History fetchHist, bool taken);
+
+    /** Table index used for (pc, hist); exposed for tests. */
+    int index(Addr pc, History h) const;
+
+  private:
+    std::vector<std::uint8_t> pht; //!< 2-bit saturating counters
+    std::vector<History> hist;
+    int mask;
+    History histMask;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_BPRED_GSHARE_HH

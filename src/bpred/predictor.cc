@@ -1,0 +1,85 @@
+#include "bpred/predictor.hh"
+
+namespace smt {
+
+BranchPredictor::BranchPredictor(const BpredParams &params,
+                                 int numThreads)
+    : dir(params.gshareEntries, params.historyBits, numThreads),
+      targets(params.btbEntries, params.btbAssoc)
+{
+    for (int t = 0; t < numThreads; ++t)
+        rasStacks.emplace_back(params.rasEntries);
+}
+
+BpredSnapshot
+BranchPredictor::snapshot(ThreadID tid) const
+{
+    return {dir.history(tid), rasStacks[tid].tos(),
+            rasStacks[tid].size()};
+}
+
+BranchPrediction
+BranchPredictor::predict(ThreadID tid, const TraceInst &ti)
+{
+    BranchPrediction p;
+    p.snap = snapshot(tid);
+
+    if (ti.isReturn) {
+        p.taken = true;
+        p.target = rasStacks[tid].pop();
+        p.targetValid = true;
+        return p;
+    }
+
+    if (ti.isCond) {
+        p.taken = dir.predict(tid, ti.pc);
+        dir.pushHistory(tid, p.taken);
+    } else {
+        p.taken = true; // unconditional jump or call
+    }
+
+    if (p.taken) {
+        p.targetValid = targets.lookup(ti.pc, p.target);
+        if (!p.targetValid) {
+            // No target available: the front end cannot redirect, so
+            // the effective prediction is fall-through.
+            p.taken = false;
+        }
+    }
+
+    if (ti.isCall)
+        rasStacks[tid].push(ti.nextPc());
+
+    return p;
+}
+
+void
+BranchPredictor::update(ThreadID tid, const TraceInst &ti,
+                        Gshare::History fetchHist)
+{
+    (void)tid;
+    if (ti.isCond)
+        dir.update(ti.pc, fetchHist, ti.taken);
+    if (ti.taken && !ti.isReturn)
+        targets.update(ti.pc, ti.target);
+}
+
+void
+BranchPredictor::repair(ThreadID tid, const BpredSnapshot &snap)
+{
+    dir.setHistory(tid, snap.history);
+    rasStacks[tid].restore(snap.rasTos, snap.rasDepth);
+}
+
+void
+BranchPredictor::reapply(ThreadID tid, const TraceInst &ti)
+{
+    if (ti.isCond)
+        dir.pushHistory(tid, ti.taken);
+    if (ti.isReturn)
+        rasStacks[tid].pop();
+    if (ti.isCall)
+        rasStacks[tid].push(ti.nextPc());
+}
+
+} // namespace smt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Combined branch unit: gshare direction prediction, BTB targets and
+ * per-thread return address stacks, with the snapshot/repair protocol
+ * the pipeline uses across squashes.
+ */
+
+#ifndef DCRA_SMT_BPRED_PREDICTOR_HH
+#define DCRA_SMT_BPRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/btb.hh"
+#include "bpred/gshare.hh"
+#include "bpred/ras.hh"
+#include "common/types.hh"
+#include "trace/trace_inst.hh"
+
+namespace smt {
+
+/** Branch unit configuration (paper Table 2 defaults). */
+struct BpredParams
+{
+    int gshareEntries = 16 * 1024;
+    int historyBits = 14;
+    int btbEntries = 256;
+    int btbAssoc = 4;
+    int rasEntries = 256;
+};
+
+/** Snapshot of per-thread speculative predictor state. */
+struct BpredSnapshot
+{
+    Gshare::History history = 0;
+    int rasTos = 0;
+    int rasDepth = 0;
+};
+
+/** What the branch unit said about one fetched branch. */
+struct BranchPrediction
+{
+    bool taken = false;       //!< predicted direction
+    Addr target = 0;          //!< predicted target if taken
+    bool targetValid = false; //!< BTB/RAS produced a target
+    BpredSnapshot snap;       //!< state *before* this prediction
+};
+
+/**
+ * Branch predictor front-end shared by all contexts.
+ */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const BpredParams &params, int numThreads);
+
+    /**
+     * Predict a fetched branch and speculatively update history and
+     * RAS. The returned snapshot allows exact repair.
+     */
+    BranchPrediction predict(ThreadID tid, const TraceInst &ti);
+
+    /**
+     * Train tables with a resolved correct-path branch.
+     * @param fetchHist history snapshot taken at fetch.
+     */
+    void update(ThreadID tid, const TraceInst &ti,
+                Gshare::History fetchHist);
+
+    /**
+     * Restore speculative state to a snapshot (squash repair). The
+     * caller re-applies the effect of the surviving trigger branch,
+     * if any, via reapply().
+     */
+    void repair(ThreadID tid, const BpredSnapshot &snap);
+
+    /**
+     * Re-apply the speculative effect of a branch that survives a
+     * squash it triggered (mispredict recovery): shifts the actual
+     * direction into history and redoes RAS push/pop.
+     */
+    void reapply(ThreadID tid, const TraceInst &ti);
+
+    /** Current speculative snapshot (stored into each DynInst). */
+    BpredSnapshot snapshot(ThreadID tid) const;
+
+    /** Access for tests. */
+    Gshare &gshare() { return dir; }
+    Btb &btb() { return targets; }
+    Ras &ras(ThreadID tid) { return rasStacks[tid]; }
+
+  private:
+    Gshare dir;
+    Btb targets;
+    std::vector<Ras> rasStacks;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_BPRED_PREDICTOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-thread return address stack (paper Table 2: 256 entries).
+ * The top-of-stack pointer is snapshotted by in-flight instructions
+ * and restored on squash; stack contents corrupted by wrong-path
+ * pushes are not repaired, which mirrors real hardware.
+ */
+
+#ifndef DCRA_SMT_BPRED_RAS_HH
+#define DCRA_SMT_BPRED_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/**
+ * Circular return-address stack for one thread.
+ */
+class Ras
+{
+  public:
+    /** @param entries stack capacity. */
+    explicit Ras(int entries)
+        : stack(static_cast<std::size_t>(entries), 0)
+    {
+    }
+
+    /** Push a return address (on call fetch). */
+    void
+    push(Addr retAddr)
+    {
+        tosIdx = (tosIdx + 1) % static_cast<int>(stack.size());
+        stack[tosIdx] = retAddr;
+        if (depth < static_cast<int>(stack.size()))
+            ++depth;
+    }
+
+    /** Pop the predicted return target (on return fetch). */
+    Addr
+    pop()
+    {
+        const Addr top = stack[tosIdx];
+        tosIdx = (tosIdx + static_cast<int>(stack.size()) - 1) %
+            static_cast<int>(stack.size());
+        if (depth > 0)
+            --depth;
+        return top;
+    }
+
+    /** Snapshot for squash repair. */
+    int tos() const { return tosIdx; }
+
+    /** Current stack depth (saturating at capacity). */
+    int size() const { return depth; }
+
+    /** Restore a snapshot taken with tos(). */
+    void restore(int t, int d)
+    {
+        tosIdx = t;
+        depth = d;
+    }
+
+  private:
+    std::vector<Addr> stack;
+    int tosIdx = 0;
+    int depth = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_BPRED_RAS_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The trace generator and workload synthesis must be bit-for-bit
+ * reproducible across hosts and standard-library versions, so the
+ * simulator never uses std::mt19937 / std::uniform_*_distribution
+ * (their outputs are implementation-defined for some distributions).
+ * Instead we use xoshiro256** seeded via SplitMix64, with hand-rolled
+ * distribution helpers.
+ */
+
+#ifndef DCRA_SMT_COMMON_RANDOM_HH
+#define DCRA_SMT_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+/**
+ * Deterministic xoshiro256** generator with convenience samplers.
+ * Cheap to copy; copies continue the sequence independently.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds give equal sequences. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the single seed word into state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit word. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SMT_ASSERT(bound > 0, "zero bound");
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (-bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        SMT_ASSERT(lo <= hi, "bad range");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric sample: number of failures before the first success,
+     * success probability p. Used for dependency distances and basic
+     * block lengths. Clamped implementation that never loops more
+     * than 64 times.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return 64;
+        std::uint64_t n = 0;
+        while (n < 64 && !chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_COMMON_RANDOM_HH

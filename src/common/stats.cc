@@ -1,0 +1,123 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+Histogram::Histogram(std::size_t nbuckets)
+    : counts(nbuckets, 0)
+{
+    SMT_ASSERT(nbuckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    const std::size_t idx =
+        std::min<std::uint64_t>(v, counts.size() - 1);
+    ++counts[idx];
+    ++total;
+}
+
+double
+Histogram::mean() const
+{
+    if (!total)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        sum += static_cast<double>(i) * static_cast<double>(counts[i]);
+    return sum / static_cast<double>(total);
+}
+
+double
+Histogram::meanNonZero() const
+{
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+        n += counts[i];
+        sum += static_cast<double>(i) * static_cast<double>(counts[i]);
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    total = 0;
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        denom += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / denom;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    SMT_ASSERT(!hasHeader, "header set twice");
+    rows.insert(rows.begin(), std::move(cells));
+    hasHeader = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &r : rows) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    std::ostringstream out;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            out << r[c];
+            if (c + 1 < r.size()) {
+                out << std::string(widths[c] - r[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+        if (i == 0 && hasHeader) {
+            std::size_t line = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                line += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(line, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::string
+TextTable::fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return std::string(buf);
+}
+
+} // namespace smt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ *
+ * Conventions follow the gem5 coding style: type aliases are
+ * MixedCase, constants are formatted like other variables.
+ */
+
+#ifndef DCRA_SMT_COMMON_TYPES_HH
+#define DCRA_SMT_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace smt {
+
+/** Byte address in the simulated machine's memory space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Hardware thread (context) identifier. */
+using ThreadID = std::int32_t;
+
+/** Global, monotonically increasing dynamic instruction number. */
+using InstSeqNum = std::uint64_t;
+
+/** Physical register index (shared int or fp file). */
+using PhysRegId = std::int32_t;
+
+/** Logical (architectural) register index within one class. */
+using ArchRegId = std::int32_t;
+
+/** Sentinel for "no register". */
+constexpr ArchRegId invalidArchReg = -1;
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegId invalidPhysReg = -1;
+
+/** Sentinel for "no thread". */
+constexpr ThreadID invalidThread = -1;
+
+/** Sentinel for "event never happens". */
+constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Hard upper bound on hardware contexts supported by the model. */
+constexpr int maxThreads = 8;
+
+} // namespace smt
+
+#endif // DCRA_SMT_COMMON_TYPES_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * In-flight dynamic instruction state and the fixed pool that owns
+ * it. Pipeline structures hold InstHandle indices rather than
+ * pointers so the pool can be a flat array.
+ */
+
+#ifndef DCRA_SMT_CORE_DYN_INST_HH
+#define DCRA_SMT_CORE_DYN_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "trace/trace_inst.hh"
+
+namespace smt {
+
+/** Index of a DynInst inside the InstPool. */
+using InstHandle = std::uint32_t;
+
+/** Sentinel handle. */
+constexpr InstHandle invalidInst = ~InstHandle(0);
+
+/**
+ * One in-flight instruction. Reset to a default-constructed state on
+ * pool allocation.
+ */
+struct DynInst
+{
+    TraceInst ti;                 //!< static trace record
+    InstSeqNum seq = 0;           //!< global age
+    std::uint64_t traceIdx = ~0ull; //!< correct-path trace position
+    ThreadID tid = invalidThread;
+    bool wrongPath = false;
+
+    /** @name Rename state */
+    /** @{ */
+    PhysRegId pdst = invalidPhysReg;
+    PhysRegId psrc1 = invalidPhysReg;
+    PhysRegId psrc2 = invalidPhysReg;
+    PhysRegId prevMap = invalidPhysReg;
+    /** @} */
+
+    /** @name Pipeline status */
+    /** @{ */
+    bool inIQ = false;
+    bool issued = false;
+    bool done = false;
+    bool squashed = false;
+    Cycle fetchCycle = 0;
+    Cycle readyCycle = 0;         //!< completion, valid once issued
+    /** @} */
+
+    /** @name Branch state */
+    /** @{ */
+    bool predTaken = false;
+    Addr predTarget = 0;
+    bool mispredicted = false;
+    BpredSnapshot snap;           //!< predictor state before fetch
+    /** @} */
+
+    /** Service level of a load once it accessed the hierarchy. */
+    std::uint8_t memLevel = 0;
+
+    /** True if the destination register is floating point. */
+    bool
+    dstFp() const
+    {
+        return ti.dst != invalidArchReg && isFpReg(ti.dst);
+    }
+};
+
+/**
+ * Fixed-capacity free-list allocator of DynInsts.
+ */
+class InstPool
+{
+  public:
+    /** @param capacity maximum simultaneous in-flight instructions. */
+    explicit InstPool(std::size_t capacity)
+        : slab(capacity)
+    {
+        freeList.reserve(capacity);
+        for (std::size_t i = capacity; i > 0; --i)
+            freeList.push_back(static_cast<InstHandle>(i - 1));
+    }
+
+    /** Allocate a cleared instruction record. */
+    InstHandle
+    alloc()
+    {
+        SMT_ASSERT(!freeList.empty(), "InstPool exhausted (cap %zu)",
+                   slab.size());
+        const InstHandle h = freeList.back();
+        freeList.pop_back();
+        slab[h] = DynInst{};
+        return h;
+    }
+
+    /** Return a record to the pool. */
+    void
+    free(InstHandle h)
+    {
+        SMT_ASSERT(h < slab.size(), "bad handle");
+        freeList.push_back(h);
+    }
+
+    /** Access a live record. */
+    DynInst &operator[](InstHandle h) { return slab[h]; }
+    const DynInst &operator[](InstHandle h) const { return slab[h]; }
+
+    /** Number of live records. */
+    std::size_t live() const { return slab.size() - freeList.size(); }
+
+    /** Capacity. */
+    std::size_t capacity() const { return slab.size(); }
+
+  private:
+    std::vector<DynInst> slab;
+    std::vector<InstHandle> freeList;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_DYN_INST_HH

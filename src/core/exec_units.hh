@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional unit pools and operation latencies. All units are fully
+ * pipelined; the per-cycle limit per class is the paper's 6 int /
+ * 3 fp / 4 ld-st configuration.
+ */
+
+#ifndef DCRA_SMT_CORE_EXEC_UNITS_HH
+#define DCRA_SMT_CORE_EXEC_UNITS_HH
+
+#include "common/types.hh"
+#include "core/smt_config.hh"
+#include "trace/op_class.hh"
+
+namespace smt {
+
+/**
+ * Per-cycle functional-unit arbitration.
+ */
+class FuPool
+{
+  public:
+    /** @param cfg core configuration (fuCount per class). */
+    explicit FuPool(const SmtConfig &cfg)
+        : config(&cfg)
+    {
+        reset();
+    }
+
+    /** Release all units at the start of a cycle. */
+    void
+    reset()
+    {
+        for (int q = 0; q < numQueueClasses; ++q)
+            used[q] = 0;
+    }
+
+    /** Claim one unit of a class; false if all are busy. */
+    bool
+    tryUse(QueueClass qc)
+    {
+        const int q = static_cast<int>(qc);
+        if (used[q] >= config->fuCount[q])
+            return false;
+        ++used[q];
+        return true;
+    }
+
+  private:
+    const SmtConfig *config;
+    int used[numQueueClasses];
+};
+
+/**
+ * Execution latency of a non-load operation (loads derive theirs
+ * from the memory system).
+ */
+inline Cycle
+opLatency(OpClass op, const SmtConfig &cfg)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMul:
+        return static_cast<Cycle>(cfg.intMulLatency);
+      case OpClass::FpAlu:
+        return static_cast<Cycle>(cfg.fpAluLatency);
+      case OpClass::FpMulDiv:
+        return static_cast<Cycle>(cfg.fpMulLatency);
+      case OpClass::Branch:
+        return static_cast<Cycle>(cfg.branchResolveLatency);
+      case OpClass::Store:
+        return 1;
+      default:
+        return 1;
+    }
+}
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_EXEC_UNITS_HH

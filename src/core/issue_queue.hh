@@ -1,0 +1,81 @@
+/**
+ * @file
+ * One issue queue (int, fp or load/store). Entries are InstHandles
+ * kept in insertion (age) order; the issue stage scans oldest-first
+ * and removes what it issues, squash removes by handle.
+ */
+
+#ifndef DCRA_SMT_CORE_ISSUE_QUEUE_HH
+#define DCRA_SMT_CORE_ISSUE_QUEUE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace smt {
+
+/**
+ * Bounded, age-ordered instruction queue.
+ */
+class IssueQueue
+{
+  public:
+    /** @param capacity entry count (paper: 80). */
+    explicit IssueQueue(int capacity)
+        : cap(capacity)
+    {
+        slots.reserve(static_cast<std::size_t>(capacity));
+    }
+
+    /** True when no entry is free. */
+    bool
+    full() const
+    {
+        return static_cast<int>(slots.size()) >= cap;
+    }
+
+    /** Live entries. */
+    int size() const { return static_cast<int>(slots.size()); }
+
+    /** Insert a dispatched instruction. @pre !full(). */
+    void
+    insert(InstHandle h)
+    {
+        SMT_ASSERT(!full(), "issue queue overflow");
+        slots.push_back(h);
+    }
+
+    /** Remove a specific instruction (squash); preserves order. */
+    void
+    remove(InstHandle h)
+    {
+        auto it = std::find(slots.begin(), slots.end(), h);
+        SMT_ASSERT(it != slots.end(), "remove of absent instruction");
+        slots.erase(it);
+    }
+
+    /** Age-ordered entries; issue stage erases via removeAt(). */
+    const std::vector<InstHandle> &entries() const { return slots; }
+
+    /** Remove by position (issue stage); preserves order. */
+    void
+    removeAt(std::size_t idx)
+    {
+        SMT_ASSERT(idx < slots.size(), "removeAt out of range");
+        slots.erase(slots.begin() +
+                    static_cast<std::ptrdiff_t>(idx));
+    }
+
+    /** Capacity. */
+    int capacity() const { return cap; }
+
+  private:
+    int cap;
+    std::vector<InstHandle> slots;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_ISSUE_QUEUE_HH

@@ -1,0 +1,674 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+namespace {
+
+/**
+ * Per-thread base so programs occupy disjoint address regions. The
+ * 1 TiB stride keeps spaces disjoint; the additional 81-line stagger
+ * keeps different threads' regions from mapping to identical cache
+ * sets (as OS physical page allocation does for real processes).
+ * Without it, N aligned programs fight over the same 2-way sets.
+ */
+constexpr Addr threadAddrStride = 0x10000000000ull + 81 * 64; // 1 TiB+
+
+} // anonymous namespace
+
+Pipeline::Pipeline(const SmtConfig &cfg_, MemorySystem &mem_,
+                   BranchPredictor &bpred_, Policy &policy_,
+                   std::vector<ThreadProgram> programs)
+    : cfg(cfg_),
+      mem(mem_),
+      bpred(bpred_),
+      policy(policy_),
+      pool(poolSize),
+      regFiles(cfg.physRegsPerFile, cfg.numThreads),
+      robBuf(cfg.robSize, cfg.numThreads),
+      rtracker(cfg.numThreads),
+      fuPool(cfg),
+      wheel(wheelSize)
+{
+    cfg.validate();
+    SMT_ASSERT(static_cast<int>(programs.size()) == cfg.numThreads,
+               "got %zu programs for %d threads", programs.size(),
+               cfg.numThreads);
+
+    for (int q = 0; q < numQueueClasses; ++q)
+        iqs.emplace_back(cfg.iqSize[q]);
+
+    threads.resize(static_cast<std::size_t>(cfg.numThreads));
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        ThreadState &ts = threads[t];
+        SMT_ASSERT(programs[t].trace && programs[t].profile,
+                   "thread %d has no program", t);
+        ts.trace = programs[t].trace;
+        ts.prof = programs[t].profile;
+        ts.addrBase = static_cast<Addr>(t) * threadAddrStride;
+        ts.fetchPc = ts.trace->peek().pc + ts.addrBase;
+    }
+
+    policy.bind({&cfg, &rtracker, &mem});
+}
+
+void
+Pipeline::resetStats()
+{
+    PipelineStats fresh;
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        fresh.commitMilestones[t] =
+            std::move(pstats.commitMilestones[t]);
+        fresh.commitHash[t] = pstats.commitHash[t];
+    }
+    pstats = std::move(fresh);
+    statsStartCycle = cycle;
+}
+
+void
+Pipeline::auditInvariants() const
+{
+    // Per-thread occupancy of each issue queue must match the
+    // tracker's counters, and every IQ resident must be live state.
+    int iqOcc[numQueueClasses][maxThreads] = {};
+    for (int q = 0; q < numQueueClasses; ++q) {
+        for (const InstHandle h : iqs[q].entries()) {
+            const DynInst &d = pool[h];
+            SMT_ASSERT(d.inIQ && !d.issued && !d.squashed,
+                       "IQ resident in wrong state");
+            SMT_ASSERT(static_cast<int>(queueClassOf(d.ti.op)) == q,
+                       "instruction in wrong queue");
+            ++iqOcc[q][d.tid];
+        }
+    }
+    int regOcc[2][maxThreads] = {};
+    int robPerThread[maxThreads] = {};
+    int preIssue[maxThreads] = {};
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        for (const InstHandle h : robBuf.list(t)) {
+            const DynInst &d = pool[h];
+            SMT_ASSERT(d.tid == t, "ROB entry on wrong list");
+            SMT_ASSERT(!d.squashed, "squashed entry still in ROB");
+            ++robPerThread[t];
+            if (d.pdst != invalidPhysReg)
+                ++regOcc[d.dstFp() ? 1 : 0][t];
+            if (d.inIQ)
+                ++preIssue[t];
+        }
+        for (const InstHandle h : threads[t].fetchQ) {
+            SMT_ASSERT(pool[h].tid == t, "fetchQ entry wrong tid");
+            ++preIssue[t];
+        }
+    }
+
+    int robTotal = 0;
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        robTotal += robPerThread[t];
+        SMT_ASSERT(robPerThread[t] == robBuf.size(t),
+                   "ROB size mismatch for thread %d", t);
+        SMT_ASSERT(preIssue[t] == rtracker.preIssue(t),
+                   "pre-issue count mismatch for thread %d: "
+                   "%d vs %d", t, preIssue[t], rtracker.preIssue(t));
+        for (int q = 0; q < numQueueClasses; ++q) {
+            SMT_ASSERT(iqOcc[q][t] ==
+                       rtracker.occupancy(
+                           iqResource(static_cast<QueueClass>(q)),
+                           t),
+                       "IQ occupancy mismatch q=%d t=%d", q, t);
+        }
+        SMT_ASSERT(regOcc[0][t] ==
+                   rtracker.occupancy(ResRegInt, t),
+                   "int reg occupancy mismatch t=%d", t);
+        SMT_ASSERT(regOcc[1][t] == rtracker.occupancy(ResRegFp, t),
+                   "fp reg occupancy mismatch t=%d", t);
+    }
+    SMT_ASSERT(robTotal == robBuf.size(), "ROB total mismatch");
+
+    // Register free-list accounting: free + architectural + renamed
+    // in flight == file size for each class.
+    const int archTotal = cfg.numThreads * numIntArchRegs;
+    for (int f = 0; f < 2; ++f) {
+        int held = 0;
+        for (int t = 0; t < cfg.numThreads; ++t)
+            held += regOcc[f][t];
+        SMT_ASSERT(regFiles.freeCount(f != 0) ==
+                   cfg.physRegsPerFile - archTotal - held,
+                   "register free-list leak in %s file",
+                   f ? "fp" : "int");
+    }
+}
+
+void
+Pipeline::tick()
+{
+    ++cycle;
+    pstats.cycles = cycle - statsStartCycle;
+
+    mem.tick(cycle);
+    policy.beginCycle(cycle);
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    processFlushRequests();
+    renameStage();
+    fetchStage();
+}
+
+// ---------------------------------------------------------------
+// commit
+// ---------------------------------------------------------------
+
+void
+Pipeline::commitStage()
+{
+    int width = cfg.commitWidth;
+    for (int k = 0; k < cfg.numThreads && width > 0; ++k) {
+        const ThreadID t =
+            static_cast<ThreadID>((cycle + k) % cfg.numThreads);
+        ThreadState &ts = threads[t];
+        while (width > 0 && !robBuf.empty(t)) {
+            const InstHandle h = robBuf.head(t);
+            DynInst &d = pool[h];
+            if (!d.done)
+                break;
+            SMT_ASSERT(!d.wrongPath, "wrong-path commit");
+            SMT_ASSERT(!d.squashed, "squashed commit");
+
+            if (isStore(d.ti.op)) {
+                // The store drains to the data cache now; commit is
+                // never blocked by it (fire and forget).
+                mem.dataAccess(t, d.ti.effAddr, false, cycle);
+                SMT_ASSERT(!ts.storeList.empty() &&
+                           ts.storeList.front() == h,
+                           "store list out of sync");
+                ts.storeList.pop_front();
+            }
+            if (d.pdst != invalidPhysReg) {
+                regFiles.release(d.prevMap, d.dstFp());
+                rtracker.release(regResource(d.dstFp()), t);
+            }
+            pstats.commitHash[t] = (pstats.commitHash[t] ^
+                                    (d.ti.pc +
+                                     static_cast<Addr>(d.ti.op))) *
+                0x9e3779b97f4a7c15ull;
+            robBuf.popHead(t);
+            pool.free(h);
+            rtracker.commitInc(t);
+            policy.onCommit(t);
+            ++pstats.committed[t];
+            if ((rtracker.committed(t) & 1023u) == 0)
+                pstats.commitMilestones[t].push_back(
+                    pstats.commitHash[t]);
+            --width;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// writeback
+// ---------------------------------------------------------------
+
+void
+Pipeline::writebackStage()
+{
+    auto &bucket = wheel[cycle % wheelSize];
+    for (const InstHandle h : bucket) {
+        DynInst &d = pool[h];
+        if (d.squashed) {
+            pool.free(h);
+            continue;
+        }
+        d.done = true;
+        if (d.pdst != invalidPhysReg)
+            regFiles.setReady(d.pdst, d.dstFp());
+        if (isLoad(d.ti.op))
+            policy.onLoadComplete(d.tid, d.seq);
+
+        if (isBranch(d.ti.op) && !d.wrongPath) {
+            bpred.update(d.tid, d.ti, d.snap.history);
+            if (d.mispredicted) {
+                ThreadState &ts = threads[d.tid];
+                SMT_ASSERT(ts.wrongPathMode &&
+                           ts.wpTriggerSeq == d.seq,
+                           "mispredict trigger out of sync");
+                const SquashInfo info = squashAfter(d.tid, d.seq);
+                SMT_ASSERT(!info.anyCorrectPath,
+                           "mispredict squashed correct path");
+                bpred.repair(d.tid, d.snap);
+                bpred.reapply(d.tid, d.ti);
+                ts.wrongPathMode = false;
+                ts.fetchPc = d.ti.actualNextPc();
+                // Redirect next cycle; a wrong-path I-miss must not
+                // keep blocking the correct path (its fill continues
+                // in the MSHRs regardless).
+                ts.fetchResumeCycle = cycle + 1;
+            }
+        }
+    }
+    bucket.clear();
+}
+
+// ---------------------------------------------------------------
+// issue
+// ---------------------------------------------------------------
+
+bool
+Pipeline::operandsReady(const DynInst &d) const
+{
+    if (d.psrc1 != invalidPhysReg &&
+        !regFiles.ready(d.psrc1, isFpReg(d.ti.src1)))
+        return false;
+    if (d.psrc2 != invalidPhysReg &&
+        !regFiles.ready(d.psrc2, isFpReg(d.ti.src2)))
+        return false;
+    return true;
+}
+
+InstHandle
+Pipeline::findForwardingStore(const DynInst &load) const
+{
+    const ThreadState &ts = threads[load.tid];
+    const Addr dword = load.ti.effAddr >> 3;
+    for (auto it = ts.storeList.rbegin(); it != ts.storeList.rend();
+         ++it) {
+        const DynInst &st = pool[*it];
+        if (st.seq >= load.seq)
+            continue;
+        if (st.done && (st.ti.effAddr >> 3) == dword)
+            return *it;
+    }
+    return invalidInst;
+}
+
+void
+Pipeline::pushWheel(InstHandle h, Cycle finish)
+{
+    SMT_ASSERT(finish > cycle, "completion not in the future");
+    SMT_ASSERT(finish - cycle < wheelSize,
+               "latency %llu exceeds completion wheel",
+               static_cast<unsigned long long>(finish - cycle));
+    wheel[finish % wheelSize].push_back(h);
+}
+
+void
+Pipeline::issueStage()
+{
+    fuPool.reset();
+    int budget = cfg.issueWidth;
+
+    for (int qo = 0; qo < numQueueClasses && budget > 0; ++qo) {
+        const int q = static_cast<int>((cycle + qo) % numQueueClasses);
+        const QueueClass qc = static_cast<QueueClass>(q);
+        IssueQueue &queue = iqs[q];
+
+        for (std::size_t i = 0;
+             i < queue.entries().size() && budget > 0;) {
+            const InstHandle h = queue.entries()[i];
+            DynInst &d = pool[h];
+            SMT_ASSERT(!d.squashed && d.inIQ, "stale IQ entry");
+            if (!operandsReady(d)) {
+                ++i;
+                continue;
+            }
+            if (!fuPool.tryUse(qc))
+                break;
+
+            Cycle finish = 0;
+            if (isLoad(d.ti.op)) {
+                ++pstats.loads[d.tid];
+                const InstHandle st = findForwardingStore(d);
+                if (st != invalidInst) {
+                    finish = cycle + 1;
+                    d.memLevel =
+                        static_cast<std::uint8_t>(ServiceLevel::L1);
+                    ++pstats.storeForwards[d.tid];
+                } else {
+                    const MemAccessResult r =
+                        mem.dataAccess(d.tid, d.ti.effAddr, true,
+                                       cycle);
+                    if (!r.accepted) {
+                        // Bank conflict or MSHRs full: replay next
+                        // cycle; the port stays consumed.
+                        --pstats.loads[d.tid];
+                        ++i;
+                        continue;
+                    }
+                    d.memLevel = static_cast<std::uint8_t>(r.level);
+                    finish = r.ready +
+                        static_cast<Cycle>(cfg.loadExtraLatency);
+                    policy.onDataAccess(d.tid, d.seq, d.ti.pc,
+                                        r.level, r.ready,
+                                        d.wrongPath);
+                }
+            } else {
+                if (isStore(d.ti.op))
+                    ++pstats.stores[d.tid];
+                finish = cycle + opLatency(d.ti.op, cfg);
+            }
+
+            d.issued = true;
+            d.inIQ = false;
+            d.readyCycle = finish;
+            pushWheel(h, finish);
+            rtracker.release(iqResource(qc), d.tid);
+            rtracker.preIssueDec(d.tid);
+            queue.removeAt(i);
+            --budget;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// squash machinery
+// ---------------------------------------------------------------
+
+Pipeline::SquashInfo
+Pipeline::squashAfter(ThreadID t, InstSeqNum seq)
+{
+    ThreadState &ts = threads[t];
+    SquashInfo info;
+
+    auto note = [&info](const DynInst &d) {
+        if (!info.any || d.seq < info.oldestSeq) {
+            info.oldestSeq = d.seq;
+            info.oldestSnap = d.snap;
+            info.oldestPc = d.ti.pc;
+        }
+        info.any = true;
+        if (!d.wrongPath) {
+            info.anyCorrectPath = true;
+            info.oldestTraceIdx =
+                std::min(info.oldestTraceIdx, d.traceIdx);
+        }
+    };
+
+    // Store list first: its handles must still be live to compare.
+    while (!ts.storeList.empty() &&
+           pool[ts.storeList.back()].seq > seq) {
+        ts.storeList.pop_back();
+    }
+
+    // Front-end buffer: strictly younger than anything renamed.
+    for (const InstHandle h : ts.fetchQ) {
+        DynInst &d = pool[h];
+        SMT_ASSERT(d.seq > seq, "fetchQ older than squash point");
+        note(d);
+        if (isLoad(d.ti.op))
+            policy.onLoadSquashed(t, d.seq);
+        rtracker.preIssueDec(t);
+        ++pstats.squashed[t];
+        pool.free(h);
+    }
+    ts.fetchQ.clear();
+
+    // ROB walk, youngest first, restoring rename state.
+    while (!robBuf.empty(t) && pool[robBuf.tail(t)].seq > seq) {
+        const InstHandle h = robBuf.tail(t);
+        DynInst &d = pool[h];
+        note(d);
+        if (d.pdst != invalidPhysReg) {
+            regFiles.setMapping(t, d.ti.dst, d.prevMap);
+            regFiles.release(d.pdst, d.dstFp());
+            rtracker.release(regResource(d.dstFp()), t);
+        }
+        if (d.inIQ) {
+            iqs[static_cast<int>(queueClassOf(d.ti.op))].remove(h);
+            rtracker.release(iqResource(queueClassOf(d.ti.op)), t);
+            rtracker.preIssueDec(t);
+            d.inIQ = false;
+        }
+        if (isLoad(d.ti.op))
+            policy.onLoadSquashed(t, d.seq);
+        d.squashed = true;
+        robBuf.popTail(t);
+        ++pstats.squashed[t];
+        if (!(d.issued && !d.done))
+            pool.free(h); // else: zombie, freed at wheel pop
+    }
+
+    if (ts.wrongPathMode && ts.wpTriggerSeq > seq)
+        ts.wrongPathMode = false;
+
+    return info;
+}
+
+void
+Pipeline::processFlushRequests()
+{
+    ThreadID t = invalidThread;
+    InstSeqNum seq = 0;
+    while (policy.takeFlushRequest(t, seq)) {
+        SMT_ASSERT(t >= 0 && t < cfg.numThreads, "bad flush tid");
+        ThreadState &ts = threads[t];
+        const SquashInfo info = squashAfter(t, seq);
+        ++pstats.flushes[t];
+        if (info.any) {
+            bpred.repair(t, info.oldestSnap);
+            if (info.anyCorrectPath) {
+                ts.trace->rewindTo(info.oldestTraceIdx);
+                ts.fetchPc = ts.trace->peek().pc + ts.addrBase;
+            } else {
+                ts.fetchPc = info.oldestPc;
+            }
+        }
+        ts.fetchResumeCycle = cycle + 1;
+    }
+}
+
+// ---------------------------------------------------------------
+// rename / dispatch
+// ---------------------------------------------------------------
+
+bool
+Pipeline::capBlocked(ThreadID t, ResourceType r) const
+{
+    const int cap = cfg.resourceCap[r];
+    return cap >= 0 && rtracker.occupancy(r, t) >= cap;
+}
+
+void
+Pipeline::renameStage()
+{
+    int budget = cfg.renameWidth;
+    for (int k = 0; k < cfg.numThreads && budget > 0; ++k) {
+        const ThreadID t =
+            static_cast<ThreadID>((cycle + k) % cfg.numThreads);
+        ThreadState &ts = threads[t];
+        while (budget > 0 && !ts.fetchQ.empty()) {
+            const InstHandle h = ts.fetchQ.front();
+            DynInst &d = pool[h];
+            if (d.fetchCycle +
+                    static_cast<Cycle>(cfg.frontEndLatency) > cycle)
+                break;
+
+            const QueueClass qc = queueClassOf(d.ti.op);
+            const int qi = static_cast<int>(qc);
+            const ResourceType iqr = iqResource(qc);
+            const bool hasDst = d.ti.dst != invalidArchReg;
+            const bool fp = hasDst && isFpReg(d.ti.dst);
+
+            if (robBuf.full() || iqs[qi].full())
+                break;
+            if (hasDst && !regFiles.canAllocate(fp))
+                break;
+            if (capBlocked(t, iqr) ||
+                (hasDst && capBlocked(t, regResource(fp))))
+                break;
+            if (!policy.allocAllowed(t, iqr))
+                break;
+            if (hasDst && !policy.allocAllowed(t, regResource(fp)))
+                break;
+
+            d.psrc1 = d.ti.src1 != invalidArchReg
+                ? regFiles.mapping(t, d.ti.src1) : invalidPhysReg;
+            d.psrc2 = d.ti.src2 != invalidArchReg
+                ? regFiles.mapping(t, d.ti.src2) : invalidPhysReg;
+            if (hasDst) {
+                d.prevMap = regFiles.mapping(t, d.ti.dst);
+                d.pdst = regFiles.allocate(fp);
+                regFiles.setMapping(t, d.ti.dst, d.pdst);
+                rtracker.allocate(regResource(fp), t, cycle);
+            }
+
+            iqs[qi].insert(h);
+            d.inIQ = true;
+            rtracker.allocate(iqr, t, cycle);
+            robBuf.push(t, h);
+            if (isStore(d.ti.op))
+                ts.storeList.push_back(h);
+
+            ts.fetchQ.pop_front();
+            --budget;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// fetch
+// ---------------------------------------------------------------
+
+void
+Pipeline::fetchStage()
+{
+    struct Cand
+    {
+        int prio;
+        int rr;
+        ThreadID t;
+    };
+    std::vector<Cand> cands;
+    cands.reserve(static_cast<std::size_t>(cfg.numThreads));
+
+    for (ThreadID t = 0; t < cfg.numThreads; ++t) {
+        ThreadState &ts = threads[t];
+        if (cycle < ts.fetchResumeCycle)
+            continue;
+        if (static_cast<int>(ts.fetchQ.size()) >= cfg.fetchQueueSize)
+            continue;
+        if (!policy.fetchAllowed(t, cycle)) {
+            ++pstats.policyFetchStalls[t];
+            continue;
+        }
+        const int rr = static_cast<int>(
+            (static_cast<Cycle>(t) + cycle) %
+            static_cast<Cycle>(cfg.numThreads));
+        cands.push_back({policy.fetchPriority(t, cycle), rr, t});
+    }
+
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand &a, const Cand &b) {
+                  if (a.prio != b.prio)
+                      return a.prio < b.prio;
+                  return a.rr < b.rr;
+              });
+
+    int budget = cfg.fetchWidth;
+    const int nThreads =
+        std::min<int>(cfg.fetchThreadsPerCycle,
+                      static_cast<int>(cands.size()));
+    for (int i = 0; i < nThreads && budget > 0; ++i)
+        fetchFrom(cands[i].t, budget);
+}
+
+void
+Pipeline::fetchFrom(ThreadID t, int &budget)
+{
+    ThreadState &ts = threads[t];
+    Addr curLine = ~Addr(0);
+
+    while (budget > 0 &&
+           static_cast<int>(ts.fetchQ.size()) < cfg.fetchQueueSize) {
+        const bool fromTrace = !ts.wrongPathMode;
+        TraceInst ti;
+        std::uint64_t traceIdx = ~0ull;
+        if (fromTrace) {
+            ti = ts.trace->peek();
+            traceIdx = ts.trace->nextIndex();
+            ti.pc += ts.addrBase;
+            if (isMem(ti.op))
+                ti.effAddr += ts.addrBase;
+            if (isBranch(ti.op))
+                ti.target += ts.addrBase;
+        } else {
+            ti = wrongPathInst(ts.fetchPc - ts.addrBase, *ts.prof,
+                               ts.wpSalt++);
+            ti.pc = ts.fetchPc;
+            if (isMem(ti.op))
+                ti.effAddr += ts.addrBase;
+            if (isBranch(ti.op))
+                ti.target += ts.addrBase;
+        }
+
+        const Addr line = mem.l1i().lineAddr(ti.pc);
+        if (line != curLine) {
+            const FetchAccessResult fr = mem.instFetch(t, ti.pc,
+                                                       cycle);
+            if (!fr.accepted)
+                break; // I-MSHRs full, retry next cycle
+            if (!fr.hit) {
+                ts.fetchResumeCycle = std::max(fr.ready, cycle + 1);
+                break;
+            }
+            curLine = line;
+        }
+
+        const InstHandle h = pool.alloc();
+        DynInst &d = pool[h];
+        d.ti = ti;
+        d.seq = ++seqCounter;
+        d.tid = t;
+        d.fetchCycle = cycle;
+        d.wrongPath = !fromTrace;
+        d.traceIdx = traceIdx;
+        d.snap = bpred.snapshot(t);
+
+        bool stopFetch = false;
+        if (isBranch(ti.op)) {
+            const BranchPrediction p = bpred.predict(t, ti);
+            d.snap = p.snap;
+            d.predTaken = p.taken;
+            d.predTarget = p.target;
+            if (fromTrace) {
+                if (ti.isCond)
+                    ++pstats.condBranches[t];
+                const bool misp = (p.taken != ti.taken) ||
+                    (p.taken && p.target != ti.target);
+                d.mispredicted = misp;
+                if (misp) {
+                    ++pstats.mispredicts[t];
+                    ts.wrongPathMode = true;
+                    ts.wpTriggerSeq = d.seq;
+                    ts.fetchPc = p.taken ? p.target : ti.nextPc();
+                } else {
+                    ts.fetchPc = ti.actualNextPc();
+                }
+            } else {
+                ts.fetchPc = p.taken ? p.target : ti.nextPc();
+            }
+            stopFetch = p.taken;
+        } else {
+            ts.fetchPc = ti.nextPc();
+        }
+
+        if (fromTrace)
+            ts.trace->consume();
+
+        ts.fetchQ.push_back(h);
+        rtracker.preIssueInc(t);
+        ++pstats.fetched[t];
+        if (d.wrongPath)
+            ++pstats.fetchedWrongPath[t];
+        if (isLoad(ti.op))
+            policy.onFetchLoad(t, d.seq, ti.pc);
+        --budget;
+
+        if (stopFetch)
+            break;
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The SMT out-of-order pipeline: per-cycle fetch (ICOUNT.2.8 style),
+ * decode/rename with shared resource allocation, three issue queues,
+ * completion wheel, in-order per-thread commit from a shared ROB,
+ * wrong-path execution and squash/recovery. Policies plug in through
+ * the Policy interface and the ResourceTracker counters.
+ */
+
+#ifndef DCRA_SMT_CORE_PIPELINE_HH
+#define DCRA_SMT_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "core/exec_units.hh"
+#include "core/issue_queue.hh"
+#include "core/regfile.hh"
+#include "core/resource_tracker.hh"
+#include "core/rob.hh"
+#include "core/smt_config.hh"
+#include "mem/memory_system.hh"
+#include "policy/policy.hh"
+#include "trace/generator.hh"
+
+namespace smt {
+
+/** Aggregate per-run pipeline statistics. */
+struct PipelineStats
+{
+    Cycle cycles = 0;
+
+    /**
+     * Rolling hash of each thread's committed (pc, op) stream,
+     * snapshotted every 1024 commits. The committed stream must be
+     * identical under every policy (squash and refetch may never
+     * change architectural execution), which integration tests
+     * verify by comparing milestone prefixes across policies.
+     */
+    std::vector<std::uint64_t> commitMilestones[maxThreads];
+    std::uint64_t commitHash[maxThreads] = {};
+
+    std::uint64_t fetched[maxThreads] = {};
+    std::uint64_t fetchedWrongPath[maxThreads] = {};
+    std::uint64_t committed[maxThreads] = {};
+    std::uint64_t squashed[maxThreads] = {};
+    std::uint64_t condBranches[maxThreads] = {};
+    std::uint64_t mispredicts[maxThreads] = {};
+    std::uint64_t loads[maxThreads] = {};
+    std::uint64_t stores[maxThreads] = {};
+    std::uint64_t storeForwards[maxThreads] = {};
+    std::uint64_t flushes[maxThreads] = {};
+    std::uint64_t policyFetchStalls[maxThreads] = {};
+
+    /** Committed IPC of one thread. */
+    double
+    ipc(ThreadID t) const
+    {
+        return cycles ? static_cast<double>(committed[t]) /
+                static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * One SMT core instance wired to a memory system, branch predictor
+ * and policy.
+ */
+class Pipeline
+{
+  public:
+    /** What one hardware context executes. */
+    struct ThreadProgram
+    {
+        TraceSource *trace = nullptr;
+        const BenchProfile *profile = nullptr;
+    };
+
+    /**
+     * @param cfg core configuration (validated here).
+     * @param mem shared memory hierarchy (numThreads must match).
+     * @param bpred shared branch unit.
+     * @param policy fetch/allocation policy (bound here).
+     * @param programs one entry per hardware context.
+     */
+    Pipeline(const SmtConfig &cfg, MemorySystem &mem,
+             BranchPredictor &bpred, Policy &policy,
+             std::vector<ThreadProgram> programs);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /**
+     * Zero the run statistics (warmup support). The machine state
+     * (caches, predictors, in-flight instructions) is untouched;
+     * stats().cycles counts from this point on. Commit milestones
+     * are preserved (the committed stream is cumulative).
+     */
+    void resetStats();
+
+    /**
+     * Verify the cross-structure bookkeeping invariants (tracker
+     * occupancy vs real queue contents, register free-list
+     * accounting, pre-issue counts, ROB sizes); panics on violation.
+     * Used by the property-based tests.
+     */
+    void auditInvariants() const;
+
+    /** Current cycle. */
+    Cycle now() const { return cycle; }
+
+    /** Run statistics. */
+    const PipelineStats &stats() const { return pstats; }
+
+    /** Hardware usage counters (also what policies see). */
+    const ResourceTracker &tracker() const { return rtracker; }
+
+    /** DCRA-style phase test: does t have a pending L1D load miss? */
+    bool
+    threadSlow(ThreadID t) const
+    {
+        return mem.pendingL1DLoads(t) > 0;
+    }
+
+    /** @name Introspection for tests */
+    /** @{ */
+    const Rob &rob() const { return robBuf; }
+    const IssueQueue &iq(QueueClass qc) const
+    {
+        return iqs[static_cast<int>(qc)];
+    }
+    const RegFiles &regs() const { return regFiles; }
+    int numThreads() const { return cfg.numThreads; }
+    const SmtConfig &config() const { return cfg; }
+
+    /** First cycle thread t may fetch again (I-miss / redirect). */
+    Cycle fetchBlockedUntil(ThreadID t) const
+    {
+        return threads[t].fetchResumeCycle;
+    }
+
+    /** Occupancy of thread t's fetch buffer. */
+    int fetchQSize(ThreadID t) const
+    {
+        return static_cast<int>(threads[t].fetchQ.size());
+    }
+
+    /** Is thread t currently fetching down a wrong path? */
+    bool onWrongPath(ThreadID t) const
+    {
+        return threads[t].wrongPathMode;
+    }
+    /** @} */
+
+  private:
+    struct ThreadState
+    {
+        TraceSource *trace = nullptr;
+        const BenchProfile *prof = nullptr;
+        Addr addrBase = 0;
+        bool wrongPathMode = false;
+        InstSeqNum wpTriggerSeq = 0;
+        Addr fetchPc = 0;
+        std::uint64_t wpSalt = 0;
+        Cycle fetchResumeCycle = 0;
+        std::deque<InstHandle> fetchQ;
+        std::deque<InstHandle> storeList;
+    };
+
+    /** Result of a squash walk, for repair and trace rewind. */
+    struct SquashInfo
+    {
+        bool any = false;
+        bool anyCorrectPath = false;
+        InstSeqNum oldestSeq = 0;
+        std::uint64_t oldestTraceIdx = ~0ull;
+        Addr oldestPc = 0;
+        BpredSnapshot oldestSnap;
+    };
+
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void processFlushRequests();
+    void renameStage();
+    void fetchStage();
+    void fetchFrom(ThreadID t, int &budget);
+
+    /** Squash everything of t strictly younger than seq. */
+    SquashInfo squashAfter(ThreadID t, InstSeqNum seq);
+
+    bool operandsReady(const DynInst &d) const;
+    InstHandle findForwardingStore(const DynInst &load) const;
+    bool capBlocked(ThreadID t, ResourceType r) const;
+    void pushWheel(InstHandle h, Cycle finish);
+
+    static constexpr std::size_t wheelSize = 2048;
+    static constexpr std::size_t poolSize = 16384;
+
+    SmtConfig cfg;
+    MemorySystem &mem;
+    BranchPredictor &bpred;
+    Policy &policy;
+
+    InstPool pool;
+    RegFiles regFiles;
+    Rob robBuf;
+    std::vector<IssueQueue> iqs;
+    ResourceTracker rtracker;
+    FuPool fuPool;
+
+    std::vector<ThreadState> threads;
+    std::vector<std::vector<InstHandle>> wheel;
+
+    Cycle cycle = 0;
+    Cycle statsStartCycle = 0;
+    InstSeqNum seqCounter = 0;
+    PipelineStats pstats;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_PIPELINE_HH

@@ -1,0 +1,75 @@
+#include "core/regfile.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+RegFiles::RegFiles(int physPerFile, int numThreads)
+    : physRegs(physPerFile), nThreads(numThreads)
+{
+    const int reserved = numThreads * numIntArchRegs;
+    SMT_ASSERT(physPerFile > reserved,
+               "register file too small: %d phys, %d architectural",
+               physPerFile, reserved);
+
+    for (int f = 0; f < 2; ++f) {
+        readyBits[f].assign(static_cast<std::size_t>(physPerFile), 0);
+        freeList[f].reserve(static_cast<std::size_t>(physPerFile));
+    }
+
+    rat.assign(static_cast<std::size_t>(numThreads),
+               std::vector<PhysRegId>(numArchRegs, invalidPhysReg));
+
+    // The first numThreads * 40 registers of each file hold committed
+    // architectural state; the rest form the rename pool.
+    for (int t = 0; t < numThreads; ++t) {
+        for (int a = 0; a < numIntArchRegs; ++a) {
+            const PhysRegId p = t * numIntArchRegs + a;
+            rat[t][a] = p;
+            readyBits[0][static_cast<std::size_t>(p)] = 1;
+            rat[t][numIntArchRegs + a] = p;
+            readyBits[1][static_cast<std::size_t>(p)] = 1;
+        }
+    }
+    for (PhysRegId p = physPerFile - 1; p >= reserved; --p) {
+        freeList[0].push_back(p);
+        freeList[1].push_back(p);
+    }
+}
+
+PhysRegId
+RegFiles::allocate(bool fp)
+{
+    SMT_ASSERT(!freeList[fp].empty(), "allocate from empty %s file",
+               fp ? "fp" : "int");
+    const PhysRegId r = freeList[fp].back();
+    freeList[fp].pop_back();
+    readyBits[fp][static_cast<std::size_t>(r)] = 0;
+    return r;
+}
+
+void
+RegFiles::release(PhysRegId r, bool fp)
+{
+    SMT_ASSERT(r >= 0 && r < physRegs, "release of bad register %d",
+               r);
+    freeList[fp].push_back(r);
+}
+
+PhysRegId
+RegFiles::mapping(ThreadID tid, ArchRegId arch) const
+{
+    SMT_ASSERT(arch >= 0 && arch < numArchRegs, "bad arch reg %d",
+               arch);
+    return rat[tid][static_cast<std::size_t>(arch)];
+}
+
+void
+RegFiles::setMapping(ThreadID tid, ArchRegId arch, PhysRegId phys)
+{
+    SMT_ASSERT(arch >= 0 && arch < numArchRegs, "bad arch reg %d",
+               arch);
+    rat[tid][static_cast<std::size_t>(arch)] = phys;
+}
+
+} // namespace smt

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared physical register files (one integer, one fp), per-thread
+ * register alias tables, free lists and the ready-bit scoreboard.
+ *
+ * Each hardware context permanently owns one physical register per
+ * architectural register (its committed state); the remainder of each
+ * file is the rename pool the policies argue about. A destination's
+ * previous mapping is freed when the renaming instruction commits; a
+ * squashed instruction frees its own destination and restores the
+ * previous mapping.
+ */
+
+#ifndef DCRA_SMT_CORE_REGFILE_HH
+#define DCRA_SMT_CORE_REGFILE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace_inst.hh"
+
+namespace smt {
+
+/**
+ * Both physical register files plus rename state for all threads.
+ */
+class RegFiles
+{
+  public:
+    /**
+     * @param physPerFile physical registers in each file.
+     * @param numThreads hardware contexts.
+     */
+    RegFiles(int physPerFile, int numThreads);
+
+    /** Free rename registers remaining in a file. */
+    int freeCount(bool fp) const
+    {
+        return static_cast<int>(freeList[fp].size());
+    }
+
+    /** True if a destination of this class can be renamed now. */
+    bool canAllocate(bool fp) const { return !freeList[fp].empty(); }
+
+    /**
+     * Pop a free physical register and mark it not-ready.
+     * @pre canAllocate(fp).
+     */
+    PhysRegId allocate(bool fp);
+
+    /** Return a physical register to the free list. */
+    void release(PhysRegId r, bool fp);
+
+    /** Current mapping of a unified-space logical register. */
+    PhysRegId mapping(ThreadID tid, ArchRegId arch) const;
+
+    /** Redirect a logical register to a new physical register. */
+    void setMapping(ThreadID tid, ArchRegId arch, PhysRegId phys);
+
+    /** Scoreboard: is the value available? */
+    bool ready(PhysRegId r, bool fp) const
+    {
+        return readyBits[fp][static_cast<std::size_t>(r)];
+    }
+
+    /** Scoreboard: mark a value available (at writeback). */
+    void setReady(PhysRegId r, bool fp)
+    {
+        readyBits[fp][static_cast<std::size_t>(r)] = true;
+    }
+
+    /** Registers per file. */
+    int physPerFile() const { return physRegs; }
+
+  private:
+    int physRegs;
+    int nThreads;
+
+    /** freeList[0] = int file, freeList[1] = fp file. */
+    std::vector<PhysRegId> freeList[2];
+    std::vector<char> readyBits[2];
+
+    /** rat[tid][unifiedArchReg] -> phys reg in the matching file. */
+    std::vector<std::vector<PhysRegId>> rat;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_REGFILE_HH

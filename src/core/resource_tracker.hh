@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-thread hardware usage counters, the exact counter set the
+ * paper's DCRA implementation adds to the processor (section 3.4,
+ * figure 3): occupancy of the three issue queues and the two rename
+ * register pools (incremented at rename, decremented at issue /
+ * commit respectively), a pre-issue instruction count for ICOUNT
+ * ordering, and per-resource last-allocation cycles from which the
+ * activity classification is derived.
+ */
+
+#ifndef DCRA_SMT_CORE_RESOURCE_TRACKER_HH
+#define DCRA_SMT_CORE_RESOURCE_TRACKER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/resources.hh"
+
+namespace smt {
+
+/**
+ * Counter block shared by the pipeline (writer) and policies
+ * (readers).
+ */
+class ResourceTracker
+{
+  public:
+    /** @param numThreads hardware contexts. */
+    explicit ResourceTracker(int numThreads)
+        : nThreads(numThreads)
+    {
+        for (int r = 0; r < NumResourceTypes; ++r) {
+            for (int t = 0; t < maxThreads; ++t) {
+                occ[r][t] = 0;
+                lastAllocCycle[r][t] = 0;
+            }
+        }
+        for (int t = 0; t < maxThreads; ++t) {
+            preIssueCount[t] = 0;
+            committedCount[t] = 0;
+        }
+    }
+
+    /** Record allocation of one entry of a resource. */
+    void
+    allocate(ResourceType r, ThreadID t, Cycle now)
+    {
+        ++occ[r][t];
+        lastAllocCycle[r][t] = now;
+    }
+
+    /** Record release of one entry of a resource. */
+    void
+    release(ResourceType r, ThreadID t)
+    {
+        SMT_ASSERT(occ[r][t] > 0, "release of %s below zero (tid %d)",
+                   resourceName(r), t);
+        --occ[r][t];
+    }
+
+    /** Entries of resource r currently held by thread t. */
+    int occupancy(ResourceType r, ThreadID t) const
+    {
+        return occ[r][t];
+    }
+
+    /** Cycle of thread t's most recent allocation of resource r. */
+    Cycle lastAlloc(ResourceType r, ThreadID t) const
+    {
+        return lastAllocCycle[r][t];
+    }
+
+    /** @name ICOUNT pre-issue instruction counting */
+    /** @{ */
+    void preIssueInc(ThreadID t) { ++preIssueCount[t]; }
+    void
+    preIssueDec(ThreadID t)
+    {
+        SMT_ASSERT(preIssueCount[t] > 0, "pre-issue count underflow");
+        --preIssueCount[t];
+    }
+    int preIssue(ThreadID t) const { return preIssueCount[t]; }
+    /** @} */
+
+    /** @name Commit counting */
+    /** @{ */
+    void commitInc(ThreadID t) { ++committedCount[t]; }
+    std::uint64_t committed(ThreadID t) const
+    {
+        return committedCount[t];
+    }
+    /** @} */
+
+    /** Number of contexts. */
+    int numThreads() const { return nThreads; }
+
+  private:
+    int nThreads;
+    int occ[NumResourceTypes][maxThreads];
+    Cycle lastAllocCycle[NumResourceTypes][maxThreads];
+    int preIssueCount[maxThreads];
+    std::uint64_t committedCount[maxThreads];
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_RESOURCE_TRACKER_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The five dynamically shared resources DCRA monitors and controls
+ * (paper section 3.4): the three issue queues and the two rename
+ * register pools.
+ */
+
+#ifndef DCRA_SMT_CORE_RESOURCES_HH
+#define DCRA_SMT_CORE_RESOURCES_HH
+
+#include "trace/op_class.hh"
+
+namespace smt {
+
+/** Shared-resource identifiers. IQ indices equal QueueClass values. */
+enum ResourceType : int {
+    ResIqInt = 0,  //!< integer issue queue entries
+    ResIqFp = 1,   //!< fp issue queue entries
+    ResIqLs = 2,   //!< load/store issue queue entries
+    ResRegInt = 3, //!< integer rename registers
+    ResRegFp = 4,  //!< fp rename registers
+    NumResourceTypes = 5
+};
+
+/** Resource controlling an issue-queue class. */
+constexpr ResourceType
+iqResource(QueueClass qc)
+{
+    return static_cast<ResourceType>(static_cast<int>(qc));
+}
+
+/** Resource controlling a register class. */
+constexpr ResourceType
+regResource(bool fp)
+{
+    return fp ? ResRegFp : ResRegInt;
+}
+
+/** True for issue-queue resources. */
+constexpr bool
+isIqResource(ResourceType r)
+{
+    return r == ResIqInt || r == ResIqFp || r == ResIqLs;
+}
+
+/**
+ * True for the floating-point resources, the ones the paper's DCRA
+ * implementation attaches activity counters to (section 3.4).
+ */
+constexpr bool
+isFpResource(ResourceType r)
+{
+    return r == ResIqFp || r == ResRegFp;
+}
+
+/** Printable name. */
+constexpr const char *
+resourceName(ResourceType r)
+{
+    switch (r) {
+      case ResIqInt: return "iq-int";
+      case ResIqFp:  return "iq-fp";
+      case ResIqLs:  return "iq-ls";
+      case ResRegInt: return "regs-int";
+      case ResRegFp: return "regs-fp";
+      default: return "invalid";
+    }
+}
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_RESOURCES_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared reorder buffer: one global capacity (paper: 512 entries),
+ * per-thread in-order lists. The per-thread list is exposed for the
+ * squash walk, which restores rename state youngest-first.
+ */
+
+#ifndef DCRA_SMT_CORE_ROB_HH
+#define DCRA_SMT_CORE_ROB_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace smt {
+
+/**
+ * Reorder buffer bookkeeping (instruction state itself lives in the
+ * InstPool).
+ */
+class Rob
+{
+  public:
+    /**
+     * @param capacity shared entry count.
+     * @param numThreads hardware contexts.
+     */
+    Rob(int capacity, int numThreads)
+        : cap(capacity), lists(static_cast<std::size_t>(numThreads))
+    {
+    }
+
+    /** True when no entry is free. */
+    bool full() const { return used >= cap; }
+
+    /** Live entries machine-wide. */
+    int size() const { return used; }
+
+    /** Live entries of one thread. */
+    int
+    size(ThreadID t) const
+    {
+        return static_cast<int>(lists[t].size());
+    }
+
+    /** True if a thread has no in-flight instructions. */
+    bool empty(ThreadID t) const { return lists[t].empty(); }
+
+    /** Append a renamed instruction (program order per thread). */
+    void
+    push(ThreadID t, InstHandle h)
+    {
+        SMT_ASSERT(!full(), "ROB overflow");
+        lists[t].push_back(h);
+        ++used;
+    }
+
+    /** Oldest instruction of a thread. */
+    InstHandle
+    head(ThreadID t) const
+    {
+        SMT_ASSERT(!lists[t].empty(), "head of empty ROB list");
+        return lists[t].front();
+    }
+
+    /** Retire the oldest instruction of a thread. */
+    void
+    popHead(ThreadID t)
+    {
+        SMT_ASSERT(!lists[t].empty(), "pop of empty ROB list");
+        lists[t].pop_front();
+        --used;
+    }
+
+    /** Remove the youngest instruction of a thread (squash walk). */
+    void
+    popTail(ThreadID t)
+    {
+        SMT_ASSERT(!lists[t].empty(), "popTail of empty ROB list");
+        lists[t].pop_back();
+        --used;
+    }
+
+    /** Youngest instruction of a thread. */
+    InstHandle
+    tail(ThreadID t) const
+    {
+        SMT_ASSERT(!lists[t].empty(), "tail of empty ROB list");
+        return lists[t].back();
+    }
+
+    /** In-order view of one thread's entries (oldest first). */
+    const std::deque<InstHandle> &list(ThreadID t) const
+    {
+        return lists[t];
+    }
+
+    /** Capacity. */
+    int capacity() const { return cap; }
+
+  private:
+    int cap;
+    int used = 0;
+    std::vector<std::deque<InstHandle>> lists;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_ROB_HH

@@ -1,0 +1,126 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+namespace {
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x && !(x & (x - 1));
+}
+
+} // anonymous namespace
+
+Cache::Cache(const CacheParams &params)
+    : p(params)
+{
+    SMT_ASSERT(isPow2(p.size), "%s: size must be a power of two",
+               p.name.c_str());
+    SMT_ASSERT(isPow2(static_cast<std::uint64_t>(p.lineSize)),
+               "%s: line size must be a power of two", p.name.c_str());
+    SMT_ASSERT(p.assoc >= 1, "%s: bad associativity", p.name.c_str());
+    SMT_ASSERT(p.banks >= 1 &&
+               isPow2(static_cast<std::uint64_t>(p.banks)),
+               "%s: banks must be a power of two", p.name.c_str());
+
+    sets = static_cast<int>(p.size /
+                            (static_cast<Addr>(p.lineSize) * p.assoc));
+    SMT_ASSERT(sets >= 1, "%s: fewer than one set", p.name.c_str());
+    lineMask = static_cast<Addr>(p.lineSize) - 1;
+    lines.resize(static_cast<std::size_t>(sets) * p.assoc);
+    bankBusy.assign(p.banks, neverCycle);
+}
+
+int
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<int>((addr / p.lineSize) % sets);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / p.lineSize / sets;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++nAccesses;
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lruStamp = ++stampCounter;
+            return true;
+        }
+    }
+    ++nMisses;
+    return false;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    Line *victim = &base[0];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lruStamp = ++stampCounter;
+            return; // already present
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = ++stampCounter;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const int set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            base[w].valid = false;
+    }
+}
+
+bool
+Cache::reserveBank(Addr addr, Cycle now)
+{
+    const int bank =
+        static_cast<int>((addr / p.lineSize) % p.banks);
+    if (bankBusy[bank] == now)
+        return false;
+    bankBusy[bank] = now;
+    return true;
+}
+
+} // namespace smt

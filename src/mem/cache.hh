@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Set-associative cache tag array with true-LRU replacement and
+ * per-cycle bank arbitration. Data values are not simulated (the
+ * simulator is trace driven); only tags, replacement state and
+ * timing-relevant structure exist.
+ */
+
+#ifndef DCRA_SMT_MEM_CACHE_HH
+#define DCRA_SMT_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/** Geometry and naming for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    Addr size = 64 * 1024;   //!< total capacity in bytes
+    int assoc = 2;           //!< ways per set
+    int lineSize = 64;       //!< line size in bytes
+    int banks = 8;           //!< independently addressed banks
+};
+
+/**
+ * Tag array of one cache. Thread-oblivious: SMT threads share all
+ * levels and conflict naturally through the index bits.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look a line up and update LRU on hit. Misses do not allocate;
+     * call fill() when the miss is handled so the outstanding-miss
+     * window is owned by the MSHR file.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Allocate (or refresh) the line containing addr. */
+    void fill(Addr addr);
+
+    /** LRU-update-free lookup for tests and probes. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line containing addr if present. */
+    void invalidate(Addr addr);
+
+    /**
+     * Try to claim the bank for addr in the given cycle.
+     * @return false if the bank already served an access this cycle.
+     */
+    bool reserveBank(Addr addr, Cycle now);
+
+    /** Line-aligned address. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask; }
+
+    /** Number of sets. */
+    int numSets() const { return sets; }
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t accesses() const { return nAccesses; }
+    std::uint64_t misses() const { return nMisses; }
+    double
+    missRate() const
+    {
+        return nAccesses
+            ? static_cast<double>(nMisses) /
+                  static_cast<double>(nAccesses)
+            : 0.0;
+    }
+    void resetStats() { nAccesses = nMisses = 0; }
+    /** @} */
+
+    /** Configuration this cache was built with. */
+    const CacheParams &params() const { return p; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    int setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams p;
+    int sets;
+    Addr lineMask;
+    std::vector<Line> lines;        //!< sets * assoc, row-major
+    std::vector<Cycle> bankBusy;    //!< last cycle each bank served
+    std::uint64_t stampCounter = 0;
+    std::uint64_t nAccesses = 0;
+    std::uint64_t nMisses = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_MEM_CACHE_HH

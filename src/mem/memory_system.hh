@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The full memory hierarchy the SMT core talks to: shared L1I / L1D /
+ * L2 caches, per-thread I/D TLBs, MSHR files, and main memory
+ * latency. All paper Table 2 parameters are configurable, including
+ * the (memory latency, L2 latency) pairs swept in Figure 7 and the
+ * perfect-L1D mode used by Figure 2.
+ */
+
+#ifndef DCRA_SMT_MEM_MEMORY_SYSTEM_HH
+#define DCRA_SMT_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/mshr.hh"
+#include "mem/tlb.hh"
+
+namespace smt {
+
+/** Hierarchy-wide configuration (paper Table 2 defaults). */
+struct MemParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 2, 64, 8};
+    CacheParams l1d{"l1d", 64 * 1024, 2, 64, 8};
+    CacheParams l2{"l2", 512 * 1024, 8, 64, 8};
+    TlbParams itlb{128, 4, 8 * 1024};
+    TlbParams dtlb{1024, 4, 8 * 1024};
+    Cycle l1Latency = 1;
+    Cycle l2Latency = 20;
+    Cycle memLatency = 300;
+    Cycle tlbMissPenalty = 160;
+    int l1dMshrs = 32;
+    int l1iMshrs = 8;
+    /** Figure 2 mode: every data access hits L1 in one cycle. */
+    bool perfectDcache = false;
+};
+
+/** Outcome of a data-side access. */
+struct MemAccessResult
+{
+    bool accepted = false;  //!< false: bank/MSHR conflict, retry
+    Cycle ready = 0;        //!< cycle the data is available
+    ServiceLevel level = ServiceLevel::L1;
+    bool dtlbMiss = false;
+};
+
+/** Outcome of an instruction fetch probe. */
+struct FetchAccessResult
+{
+    bool accepted = false;  //!< false: I-MSHR full, retry next cycle
+    bool hit = false;       //!< line present, fetch proceeds now
+    Cycle ready = 0;        //!< on a miss: cycle the line arrives
+};
+
+/**
+ * Shared memory hierarchy for up to maxThreads contexts.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * @param params hierarchy configuration.
+     * @param numThreads number of hardware contexts.
+     */
+    MemorySystem(const MemParams &params, int numThreads);
+
+    /**
+     * Perform a load or store data access.
+     *
+     * @param tid requesting thread.
+     * @param addr effective byte address (thread-offset already
+     *        applied by the caller).
+     * @param isLoad true for loads; stores never retry and are
+     *        counted separately.
+     * @param now current cycle.
+     */
+    MemAccessResult dataAccess(ThreadID tid, Addr addr, bool isLoad,
+                               Cycle now);
+
+    /** Probe the I-side for the line containing pc. */
+    FetchAccessResult instFetch(ThreadID tid, Addr pc, Cycle now);
+
+    /** Retire completed misses; call once per cycle. */
+    void tick(Cycle now);
+
+    /** Zero all statistics; cache/TLB contents are untouched. */
+    void resetStats();
+
+    /** Outstanding L1D *load* misses (any level) for a thread. */
+    int pendingL1DLoads(ThreadID tid) const;
+
+    /** Outstanding memory-level (L2-missing) loads for a thread. */
+    int pendingL2DLoads(ThreadID tid) const;
+
+    /** Outstanding memory-level loads across all threads (MLP). */
+    int outstandingMemLoads() const;
+
+    /** @name Per-thread data-side statistics */
+    /** @{ */
+    std::uint64_t l1dAccesses(ThreadID t) const { return sL1dAcc[t]; }
+    std::uint64_t l1dMisses(ThreadID t) const { return sL1dMiss[t]; }
+    std::uint64_t l2DataAccesses(ThreadID t) const
+    {
+        return sL2Acc[t];
+    }
+    std::uint64_t l2DataMisses(ThreadID t) const { return sL2Miss[t]; }
+    std::uint64_t dtlbMisses(ThreadID t) const { return sDtlbMiss[t]; }
+    /** @} */
+
+    /** Underlying caches, exposed for tests and reporting. */
+    Cache &l1i() { return *l1iCache; }
+    Cache &l1d() { return *l1dCache; }
+    Cache &l2() { return *l2Cache; }
+
+    /** Per-thread TLBs, exposed for tests and pre-warming. */
+    Tlb &itlb(ThreadID t) { return itlbs[t]; }
+    Tlb &dtlb(ThreadID t) { return dtlbs[t]; }
+
+    /** Configuration. */
+    const MemParams &params() const { return p; }
+
+  private:
+    MemParams p;
+    int nThreads;
+
+    std::unique_ptr<Cache> l1iCache;
+    std::unique_ptr<Cache> l1dCache;
+    std::unique_ptr<Cache> l2Cache;
+    MshrFile mshrD;
+    MshrFile mshrI;
+    std::vector<Tlb> itlbs;
+    std::vector<Tlb> dtlbs;
+
+    std::vector<std::uint64_t> sL1dAcc;
+    std::vector<std::uint64_t> sL1dMiss;
+    std::vector<std::uint64_t> sL2Acc;
+    std::vector<std::uint64_t> sL2Miss;
+    std::vector<std::uint64_t> sDtlbMiss;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,90 @@
+#include "mem/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+MshrFile::MshrFile(int nEntries)
+    : entries(static_cast<std::size_t>(nEntries))
+{
+    SMT_ASSERT(nEntries > 0, "MSHR file needs at least one entry");
+}
+
+const MshrFile::Entry *
+MshrFile::find(Addr line) const
+{
+    for (const auto &e : entries) {
+        if (e.valid && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+MshrFile::alloc(Addr line, Cycle ready, ThreadID tid,
+                ServiceLevel level, bool isLoad)
+{
+    SMT_ASSERT(!full(), "MSHR alloc on full file");
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e = Entry{line, ready, tid, level, isLoad, true};
+            ++liveCount;
+            if (isLoad) {
+                ++loadCount[tid][static_cast<int>(level)];
+                if (level == ServiceLevel::Memory)
+                    ++memLoadTotal;
+            }
+            return;
+        }
+    }
+    panic("MSHR file inconsistent: full() false but no free entry");
+}
+
+int
+MshrFile::retire(Cycle now)
+{
+    int released = 0;
+    for (auto &e : entries) {
+        if (e.valid && e.ready <= now) {
+            e.valid = false;
+            --liveCount;
+            ++released;
+            if (e.isLoad) {
+                --loadCount[e.tid][static_cast<int>(e.level)];
+                if (e.level == ServiceLevel::Memory)
+                    --memLoadTotal;
+            }
+        }
+    }
+    return released;
+}
+
+int
+MshrFile::pendingLoads(ThreadID tid, ServiceLevel atLeast) const
+{
+    int n = 0;
+    for (int lvl = static_cast<int>(atLeast); lvl <= 3; ++lvl)
+        n += loadCount[tid][lvl];
+    return n;
+}
+
+int
+MshrFile::outstandingLoads(ServiceLevel level) const
+{
+    if (level == ServiceLevel::Memory)
+        return memLoadTotal;
+    int n = 0;
+    for (const auto &e : entries) {
+        if (e.valid && e.isLoad && e.level == level)
+            ++n;
+    }
+    return n;
+}
+
+int
+MshrFile::outstandingLoads(ThreadID tid, ServiceLevel level) const
+{
+    return loadCount[tid][static_cast<int>(level)];
+}
+
+} // namespace smt

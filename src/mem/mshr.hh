@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Miss status holding registers: the bounded pool of outstanding
+ * cache misses. Requests to a line that is already in flight merge
+ * into the existing entry (they inherit its ready cycle and add no
+ * new downstream traffic). The pool size bounds the achievable
+ * memory-level parallelism, which is the quantity DCRA tries to
+ * raise for slow threads.
+ */
+
+#ifndef DCRA_SMT_MEM_MSHR_HH
+#define DCRA_SMT_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/** Service level of a miss. */
+enum class ServiceLevel : std::uint8_t {
+    L1 = 1,   //!< hit in L1 (never allocates an MSHR)
+    L2 = 2,   //!< L1 miss serviced by L2
+    Memory = 3 //!< L1 and L2 miss serviced by main memory
+};
+
+/**
+ * Fixed-size MSHR file for one cache.
+ */
+class MshrFile
+{
+  public:
+    /** One in-flight miss. */
+    struct Entry
+    {
+        Addr line = 0;
+        Cycle ready = 0;
+        ThreadID tid = invalidThread;
+        ServiceLevel level = ServiceLevel::L2;
+        bool isLoad = false;
+        bool valid = false;
+    };
+
+    /** @param nEntries pool size. */
+    explicit MshrFile(int nEntries);
+
+    /** Entry holding this line, or nullptr. */
+    const Entry *find(Addr line) const;
+
+    /** True when no entry is free. */
+    bool full() const { return liveCount == entries.size(); }
+
+    /**
+     * Allocate an entry.
+     * @pre !full() and no entry for this line exists.
+     */
+    void alloc(Addr line, Cycle ready, ThreadID tid,
+               ServiceLevel level, bool isLoad);
+
+    /**
+     * Release all entries whose fill has arrived.
+     * @return how many were released.
+     */
+    int retire(Cycle now);
+
+    /** Outstanding load misses of a thread at a given level or worse. */
+    int pendingLoads(ThreadID tid, ServiceLevel atLeast) const;
+
+    /** Outstanding load misses at exactly the given level, all threads. */
+    int outstandingLoads(ServiceLevel level) const;
+
+    /** Outstanding load misses at the given level for one thread. */
+    int outstandingLoads(ThreadID tid, ServiceLevel level) const;
+
+    /** Current number of live entries. */
+    int live() const { return static_cast<int>(liveCount); }
+
+    /** Pool capacity. */
+    int capacity() const { return static_cast<int>(entries.size()); }
+
+  private:
+    std::vector<Entry> entries;
+    std::size_t liveCount = 0;
+
+    /** Incremental counts: loadCount[tid][level] (levels 2 and 3). */
+    int loadCount[maxThreads][4] = {};
+    int memLoadTotal = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_MEM_MSHR_HH

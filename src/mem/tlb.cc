@@ -1,0 +1,47 @@
+#include "mem/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+Tlb::Tlb(const TlbParams &params)
+    : p(params)
+{
+    SMT_ASSERT(p.entries % p.assoc == 0,
+               "TLB entries not divisible by associativity");
+    sets = p.entries / p.assoc;
+    entries.resize(static_cast<std::size_t>(p.entries));
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    ++nAccesses;
+    const Addr vpn = addr / p.pageBytes;
+    const int set = static_cast<int>(vpn % sets);
+    Entry *base = &entries[static_cast<std::size_t>(set) * p.assoc];
+
+    for (int w = 0; w < p.assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lruStamp = ++stampCounter;
+            return true;
+        }
+    }
+
+    ++nMisses;
+    Entry *victim = &base[0];
+    for (int w = 0; w < p.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = ++stampCounter;
+    return false;
+}
+
+} // namespace smt

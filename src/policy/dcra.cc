@@ -1,0 +1,95 @@
+#include "policy/dcra.hh"
+
+namespace smt {
+
+DcraPolicy::DcraPolicy(const PolicyParams &pp)
+    : params(pp),
+      iqModel(pp.iqSharingMode),
+      regModel(pp.regSharingMode)
+{
+}
+
+void
+DcraPolicy::onBind()
+{
+    tables.clear();
+    if (params.useLookupTable) {
+        for (int r = 0; r < NumResourceTypes; ++r) {
+            const auto rt = static_cast<ResourceType>(r);
+            tables.emplace_back(
+                isIqResource(rt) ? params.iqSharingMode
+                                 : params.regSharingMode,
+                ctx.cfg->resourceTotal(rt), ctx.cfg->numThreads);
+        }
+    }
+}
+
+bool
+DcraPolicy::computeActive(ResourceType r, ThreadID t,
+                          Cycle now) const
+{
+    if (!params.activityAllResources && !isFpResource(r))
+        return true;
+    // Equivalent to the paper's counter: reset to Y on allocation,
+    // decremented every other cycle, inactive at zero.
+    return now - ctx.tracker->lastAlloc(r, t) <=
+        params.activityThreshold;
+}
+
+void
+DcraPolicy::beginCycle(Cycle now)
+{
+    const int n = ctx.cfg->numThreads;
+
+    for (int t = 0; t < n; ++t) {
+        slow[t] = params.dcraSlowOnL2Only
+            ? ctx.mem->pendingL2DLoads(t) > 0
+            : ctx.mem->pendingL1DLoads(t) > 0;
+        gatedMask[t] = false;
+    }
+
+    for (int r = 0; r < NumResourceTypes; ++r) {
+        const auto rt = static_cast<ResourceType>(r);
+        int fastActive = 0;
+        int slowActive = 0;
+        for (int t = 0; t < n; ++t) {
+            active[r][t] = computeActive(rt, t, now);
+            if (!active[r][t])
+                continue;
+            if (slow[t])
+                ++slowActive;
+            else
+                ++fastActive;
+        }
+
+        if (params.useLookupTable) {
+            limit[r] = tables[static_cast<std::size_t>(r)].slowLimit(
+                fastActive, slowActive);
+        } else {
+            const SharingModel &model =
+                isIqResource(rt) ? iqModel : regModel;
+            limit[r] = model.slowLimit(ctx.cfg->resourceTotal(rt),
+                                       fastActive, slowActive);
+        }
+        equalLimit[r] = equalModel.slowLimit(
+            ctx.cfg->resourceTotal(rt), fastActive, slowActive);
+
+        for (int t = 0; t < n; ++t) {
+            const int myLimit =
+                borrowAllowed(t) ? limit[r] : equalLimit[r];
+            if (slow[t] && active[r][t] &&
+                ctx.tracker->occupancy(rt, t) > myLimit) {
+                gatedMask[t] = true;
+            }
+        }
+    }
+}
+
+bool
+DcraPolicy::fetchAllowed(ThreadID t, Cycle now)
+{
+    (void)now;
+    return !gatedMask[t];
+}
+
+} // namespace smt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * DCRA: Dynamically Controlled Resource Allocation (the paper's
+ * contribution, section 3).
+ *
+ * Every cycle, for each of the five shared resources:
+ *
+ *  1. classify threads by phase: *slow* if the thread has a pending
+ *     L1 data cache miss, *fast* otherwise (section 3.1.1);
+ *  2. classify threads by usage: *active* for the resource if they
+ *     allocated an entry of it in the last Y = 256 cycles. In the
+ *     paper's hardware only the fp issue queue and fp registers
+ *     carry activity counters; the integer resources treat every
+ *     thread as active (sections 3.1.2, 3.4);
+ *  3. compute the slow-active entitlement E_slow with the sharing
+ *     model (section 3.2) from the (F_A, S_A) counts;
+ *  4. fetch-stall every slow-active thread whose occupancy of any
+ *     resource exceeds its entitlement, until it drains below the
+ *     limit. Fast threads are never gated; inactive threads are not
+ *     allocating anyway.
+ *
+ * Fetch priority among allowed threads remains ICOUNT.
+ */
+
+#ifndef DCRA_SMT_POLICY_DCRA_HH
+#define DCRA_SMT_POLICY_DCRA_HH
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy_params.hh"
+#include "policy/policy.hh"
+#include "policy/sharing_model.hh"
+
+namespace smt {
+
+/** The dynamic resource allocation policy. */
+class DcraPolicy : public Policy
+{
+  public:
+    /** @param pp sharing factors, activity window, impl choice. */
+    explicit DcraPolicy(const PolicyParams &pp);
+
+    const char *name() const override { return "DCRA"; }
+
+    void beginCycle(Cycle now) override;
+    bool fetchAllowed(ThreadID t, Cycle now) override;
+
+    /** @name Introspection (tests, the phase-explorer example) */
+    /** @{ */
+
+    /** Was t classified slow in the current cycle? */
+    bool isSlow(ThreadID t) const { return slow[t]; }
+
+    /** Is t active for resource r in the current cycle? */
+    bool isActive(ResourceType r, ThreadID t) const
+    {
+        return active[r][t];
+    }
+
+    /** Current E_slow for a resource. */
+    int slowLimit(ResourceType r) const { return limit[r]; }
+
+    /** Is t currently fetch-gated? */
+    bool isGated(ThreadID t) const { return gatedMask[t]; }
+
+    /** @} */
+
+  protected:
+    void onBind() override;
+
+    /**
+     * Extension hook: may thread t borrow beyond its equal share?
+     * The base policy always says yes; DcraDegPolicy (the paper's
+     * stated future work) revokes borrowing from degenerate threads
+     * that cannot convert extra resources into progress.
+     */
+    virtual bool borrowAllowed(ThreadID t) const
+    {
+        (void)t;
+        return true;
+    }
+
+  private:
+    /** Evaluate the activity classification for one (r, t). */
+    bool computeActive(ResourceType r, ThreadID t, Cycle now) const;
+
+    PolicyParams params;
+    SharingModel iqModel;
+    SharingModel regModel;
+    SharingModel equalModel{SharingFactorMode::Zero};
+    std::vector<SharingModelTable> tables; //!< lookup-table variant
+
+    bool slow[maxThreads] = {};
+    bool active[NumResourceTypes][maxThreads] = {};
+    int limit[NumResourceTypes] = {};
+    int equalLimit[NumResourceTypes] = {};
+    bool gatedMask[maxThreads] = {};
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_DCRA_HH

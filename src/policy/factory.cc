@@ -1,0 +1,80 @@
+#include "policy/factory.hh"
+
+#include "common/logging.hh"
+#include "policy/dcra.hh"
+#include "policy/dcra_deg.hh"
+#include "policy/dgate.hh"
+#include "policy/flush.hh"
+#include "policy/flushpp.hh"
+#include "policy/icount.hh"
+#include "policy/pdg.hh"
+#include "policy/round_robin.hh"
+#include "policy/sra.hh"
+#include "policy/stall.hh"
+
+namespace smt {
+
+const char *
+policyKindName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::RoundRobin: return "ROUND-ROBIN";
+      case PolicyKind::Icount: return "ICOUNT";
+      case PolicyKind::Stall: return "STALL";
+      case PolicyKind::Flush: return "FLUSH";
+      case PolicyKind::FlushPp: return "FLUSH++";
+      case PolicyKind::DataGating: return "DG";
+      case PolicyKind::Pdg: return "PDG";
+      case PolicyKind::Sra: return "SRA";
+      case PolicyKind::Dcra: return "DCRA";
+      case PolicyKind::DcraDeg: return "DCRA-DEG";
+      default: return "invalid";
+    }
+}
+
+PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    static const PolicyKind all[] = {
+        PolicyKind::RoundRobin, PolicyKind::Icount, PolicyKind::Stall,
+        PolicyKind::Flush, PolicyKind::FlushPp,
+        PolicyKind::DataGating, PolicyKind::Pdg, PolicyKind::Sra,
+        PolicyKind::Dcra, PolicyKind::DcraDeg,
+    };
+    for (PolicyKind k : all) {
+        if (name == policyKindName(k))
+            return k;
+    }
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+std::unique_ptr<Policy>
+makePolicy(PolicyKind kind, const PolicyParams &params)
+{
+    switch (kind) {
+      case PolicyKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+      case PolicyKind::Icount:
+        return std::make_unique<IcountPolicy>();
+      case PolicyKind::Stall:
+        return std::make_unique<StallPolicy>(params);
+      case PolicyKind::Flush:
+        return std::make_unique<FlushPolicy>(params);
+      case PolicyKind::FlushPp:
+        return std::make_unique<FlushPpPolicy>(params);
+      case PolicyKind::DataGating:
+        return std::make_unique<DataGatingPolicy>(params);
+      case PolicyKind::Pdg:
+        return std::make_unique<PdgPolicy>(params);
+      case PolicyKind::Sra:
+        return std::make_unique<SraPolicy>();
+      case PolicyKind::Dcra:
+        return std::make_unique<DcraPolicy>(params);
+      case PolicyKind::DcraDeg:
+        return std::make_unique<DcraDegPolicy>(params);
+      default:
+        panic("bad policy kind %d", static_cast<int>(kind));
+    }
+}
+
+} // namespace smt

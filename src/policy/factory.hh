@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Construction of policies by kind, the enumeration experiments
+ * sweep over.
+ */
+
+#ifndef DCRA_SMT_POLICY_FACTORY_HH
+#define DCRA_SMT_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "policy/policy_params.hh"
+#include "policy/policy.hh"
+
+namespace smt {
+
+/** Every policy the paper evaluates. */
+enum class PolicyKind {
+    RoundRobin,
+    Icount,
+    Stall,
+    Flush,
+    FlushPp,
+    DataGating,
+    Pdg,
+    Sra,
+    Dcra,
+    DcraDeg
+};
+
+/** Printable name matching the paper's spelling. */
+const char *policyKindName(PolicyKind k);
+
+/** Parse a name ("DCRA", "FLUSH++", ...); fatal() on bad input. */
+PolicyKind parsePolicyKind(const std::string &name);
+
+/** Instantiate a policy. */
+std::unique_ptr<Policy> makePolicy(PolicyKind kind,
+                                   const PolicyParams &params);
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_FACTORY_HH

@@ -1,0 +1,32 @@
+#include "policy/flushpp.hh"
+
+namespace smt {
+
+void
+FlushPpPolicy::onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,
+                            ServiceLevel level, Cycle ready,
+                            bool wrongPath)
+{
+    if (level == ServiceLevel::Memory && !wrongPath)
+        ++l2MissesInWindow[t];
+    FlushPolicy::onDataAccess(t, seq, pc, level, ready, wrongPath);
+}
+
+void
+FlushPpPolicy::onCommit(ThreadID t)
+{
+    if (++commitsInWindow[t] < params.flushppWindow)
+        return;
+
+    const double rate = static_cast<double>(l2MissesInWindow[t]) /
+        static_cast<double>(commitsInWindow[t]);
+    const bool isMem = rate > params.flushppMissRateThreshold;
+    if (isMem != memLike[t]) {
+        memLike[t] = isMem;
+        memBehaving += isMem ? 1 : -1;
+    }
+    commitsInWindow[t] = 0;
+    l2MissesInWindow[t] = 0;
+}
+
+} // namespace smt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FLUSH++ (Cazorla et al., HPC 2003): run STALL when the workload
+ * puts little pressure on resources (few memory-bounded threads) and
+ * FLUSH when pressure is high. Thread cache behaviour is sampled
+ * over a window of committed instructions.
+ */
+
+#ifndef DCRA_SMT_POLICY_FLUSHPP_HH
+#define DCRA_SMT_POLICY_FLUSHPP_HH
+
+#include "policy/flush.hh"
+#include "policy/policy_params.hh"
+
+namespace smt {
+
+/** Adaptive STALL/FLUSH hybrid. */
+class FlushPpPolicy : public FlushPolicy
+{
+  public:
+    /** @param pp thresholds and window length. */
+    explicit FlushPpPolicy(const PolicyParams &pp)
+        : FlushPolicy(pp), params(pp)
+    {
+    }
+
+    const char *name() const override { return "FLUSH++"; }
+
+    void onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,
+                      ServiceLevel level, Cycle ready,
+                      bool wrongPath) override;
+    void onCommit(ThreadID t) override;
+
+    /** True when the policy currently behaves like FLUSH. */
+    bool inFlushMode() const { return memBehaving >= threshold(); }
+
+  protected:
+    bool flushModeActive() const override { return inFlushMode(); }
+
+  private:
+    int
+    threshold() const
+    {
+        return params.flushppMemThreads;
+    }
+
+    PolicyParams params;
+    std::uint64_t commitsInWindow[maxThreads] = {};
+    std::uint64_t l2MissesInWindow[maxThreads] = {};
+    bool memLike[maxThreads] = {};
+    int memBehaving = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_FLUSHPP_HH

@@ -1,0 +1,81 @@
+#include "policy/pdg.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+PdgPolicy::PdgPolicy(const PolicyParams &pp)
+    : table(static_cast<std::size_t>(pp.pdgTableEntries), 1)
+{
+    SMT_ASSERT((table.size() & (table.size() - 1)) == 0,
+               "PDG table size must be a power of two");
+}
+
+std::size_t
+PdgPolicy::indexOf(Addr pc) const
+{
+    return static_cast<std::size_t>(pc >> 2) & (table.size() - 1);
+}
+
+bool
+PdgPolicy::predictsMiss(Addr pc) const
+{
+    return table[indexOf(pc)] >= 2;
+}
+
+bool
+PdgPolicy::fetchAllowed(ThreadID t, Cycle now)
+{
+    (void)now;
+    return !gated[t];
+}
+
+void
+PdgPolicy::onFetchLoad(ThreadID t, InstSeqNum seq, Addr pc)
+{
+    if (!gated[t] && predictsMiss(pc)) {
+        gated[t] = true;
+        gateSeq[t] = seq;
+    }
+}
+
+void
+PdgPolicy::onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,
+                        ServiceLevel level, Cycle ready,
+                        bool wrongPath)
+{
+    (void)t;
+    (void)seq;
+    (void)ready;
+    (void)wrongPath;
+    // Train with the actual L1 outcome.
+    std::uint8_t &ctr = table[indexOf(pc)];
+    if (level >= ServiceLevel::L2) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+PdgPolicy::ungateIf(ThreadID t, InstSeqNum seq)
+{
+    if (gated[t] && gateSeq[t] == seq)
+        gated[t] = false;
+}
+
+void
+PdgPolicy::onLoadComplete(ThreadID t, InstSeqNum seq)
+{
+    ungateIf(t, seq);
+}
+
+void
+PdgPolicy::onLoadSquashed(ThreadID t, InstSeqNum seq)
+{
+    ungateIf(t, seq);
+}
+
+} // namespace smt

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The policy interface the SMT core consults every cycle.
+ *
+ * A Policy in this library generalises both of the paper's
+ * categories:
+ *
+ *  - I-fetch policies (ICOUNT, STALL, FLUSH, FLUSH++, DG, PDG)
+ *    control only the fetch stage: ordering via fetchPriority() and
+ *    gating via fetchAllowed(); FLUSH-class policies additionally
+ *    request squashes via takeFlushRequest().
+ *  - resource allocation policies (SRA, DCRA) additionally gate
+ *    resource allocation: SRA through hard per-thread caps at rename
+ *    (allocAllowed()), DCRA by fetch-stalling slow threads that
+ *    exceed their dynamically computed share (fetchAllowed()).
+ *
+ * The pipeline pushes events (data accesses, load completion/squash,
+ * fetched loads, commits) into the policy; the policy reads the
+ * hardware usage counters through the PolicyContext.
+ */
+
+#ifndef DCRA_SMT_POLICY_POLICY_HH
+#define DCRA_SMT_POLICY_POLICY_HH
+
+#include "common/types.hh"
+#include "core/resource_tracker.hh"
+#include "core/resources.hh"
+#include "core/smt_config.hh"
+#include "mem/memory_system.hh"
+
+namespace smt {
+
+/** Read-only state a policy may inspect. */
+struct PolicyContext
+{
+    const SmtConfig *cfg = nullptr;
+    const ResourceTracker *tracker = nullptr;
+    const MemorySystem *mem = nullptr;
+};
+
+/**
+ * Abstract fetch / resource-allocation policy.
+ */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Human-readable policy name ("DCRA", "FLUSH++", ...). */
+    virtual const char *name() const = 0;
+
+    /** Attach to a core; called once before simulation. */
+    void
+    bind(const PolicyContext &c)
+    {
+        ctx = c;
+        onBind();
+    }
+
+    /** Called at the start of every cycle before any stage runs. */
+    virtual void beginCycle(Cycle now) { (void)now; }
+
+    /**
+     * May thread t fetch this cycle? Policies stall threads here
+     * (STALL/FLUSH on L2 misses, DG/PDG on L1 misses, DCRA on
+     * exceeded shares).
+     */
+    virtual bool
+    fetchAllowed(ThreadID t, Cycle now)
+    {
+        (void)t;
+        (void)now;
+        return true;
+    }
+
+    /**
+     * Fetch priority; lower values fetch first. The default is
+     * ICOUNT ordering (fewest pre-issue instructions first), which
+     * every policy in the paper except ROUND-ROBIN builds on.
+     */
+    virtual int
+    fetchPriority(ThreadID t, Cycle now) const
+    {
+        (void)now;
+        return ctx.tracker->preIssue(t);
+    }
+
+    /**
+     * May thread t allocate one more entry of resource r at rename?
+     * Hard static partitioning (SRA) lives here.
+     */
+    virtual bool
+    allocAllowed(ThreadID t, ResourceType r)
+    {
+        (void)t;
+        (void)r;
+        return true;
+    }
+
+    /** @name Pipeline events */
+    /** @{ */
+
+    /** A load or store accessed the data hierarchy at issue. */
+    virtual void
+    onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,
+                 ServiceLevel level, Cycle ready, bool wrongPath)
+    {
+        (void)t; (void)seq; (void)pc; (void)level; (void)ready;
+        (void)wrongPath;
+    }
+
+    /** A load wrote back. */
+    virtual void onLoadComplete(ThreadID t, InstSeqNum seq)
+    {
+        (void)t;
+        (void)seq;
+    }
+
+    /** A load was squashed before completing. */
+    virtual void onLoadSquashed(ThreadID t, InstSeqNum seq)
+    {
+        (void)t;
+        (void)seq;
+    }
+
+    /** A load was fetched (PDG predicts misses at this point). */
+    virtual void onFetchLoad(ThreadID t, InstSeqNum seq, Addr pc)
+    {
+        (void)t;
+        (void)seq;
+        (void)pc;
+    }
+
+    /** One instruction of thread t committed. */
+    virtual void onCommit(ThreadID t) { (void)t; }
+
+    /** @} */
+
+    /**
+     * FLUSH-style squash request. When this returns true the core
+     * squashes every instruction of thread t younger than seq,
+     * rewinds the thread's trace and refetches.
+     */
+    virtual bool
+    takeFlushRequest(ThreadID &t, InstSeqNum &seq)
+    {
+        (void)t;
+        (void)seq;
+        return false;
+    }
+
+  protected:
+    /** Hook for subclasses needing setup after bind(). */
+    virtual void onBind() {}
+
+    PolicyContext ctx;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_POLICY_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * ROUND-ROBIN fetch (Tullsen et al., ISCA'96): rotate fetch priority
+ * among threads every cycle, ignoring resource usage entirely.
+ */
+
+#ifndef DCRA_SMT_POLICY_ROUND_ROBIN_HH
+#define DCRA_SMT_POLICY_ROUND_ROBIN_HH
+
+#include "policy/policy.hh"
+
+namespace smt {
+
+/** Baseline rotating-priority fetch policy. */
+class RoundRobinPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "ROUND-ROBIN"; }
+
+    int
+    fetchPriority(ThreadID t, Cycle now) const override
+    {
+        const int n = ctx.cfg->numThreads;
+        return static_cast<int>(
+            (static_cast<Cycle>(t) + n - (now % n)) %
+            static_cast<Cycle>(n));
+    }
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_ROUND_ROBIN_HH

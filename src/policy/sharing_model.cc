@@ -1,0 +1,94 @@
+#include "policy/sharing_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+const char *
+sharingFactorModeName(SharingFactorMode m)
+{
+    switch (m) {
+      case SharingFactorMode::OverActive:
+        return "1/(FA+SA)";
+      case SharingFactorMode::OverActivePlus4:
+        return "1/(FA+SA+4)";
+      case SharingFactorMode::Zero:
+        return "0";
+      default:
+        return "invalid";
+    }
+}
+
+double
+SharingModel::factor(SharingFactorMode m, int activeThreads)
+{
+    switch (m) {
+      case SharingFactorMode::OverActive:
+        return activeThreads > 0 ? 1.0 / activeThreads : 0.0;
+      case SharingFactorMode::OverActivePlus4:
+        return 1.0 / (activeThreads + 4);
+      case SharingFactorMode::Zero:
+        return 0.0;
+      default:
+        panic("bad sharing factor mode");
+    }
+}
+
+int
+SharingModel::slowLimit(int total, int fastActive,
+                        int slowActive) const
+{
+    SMT_ASSERT(fastActive >= 0 && slowActive >= 0,
+               "negative active count");
+    const int active = fastActive + slowActive;
+    if (slowActive == 0 || active == 0)
+        return total; // nobody to constrain
+    const double c = factor(cMode, active);
+    const double eSlow = (static_cast<double>(total) / active) *
+        (1.0 + c * fastActive);
+    const int limit = static_cast<int>(std::llround(eSlow));
+    return limit < total ? limit : total;
+}
+
+SharingModelTable::SharingModelTable(SharingFactorMode mode,
+                                     int total, int maxActiveThreads)
+    : maxActive(maxActiveThreads),
+      table(static_cast<std::size_t>((maxActiveThreads + 1) *
+                                     (maxActiveThreads + 1)),
+            total)
+{
+    const SharingModel model(mode);
+    for (int fa = 0; fa <= maxActive; ++fa) {
+        for (int sa = 0; sa <= maxActive - fa; ++sa) {
+            table[static_cast<std::size_t>(fa * (maxActive + 1) +
+                                           sa)] =
+                model.slowLimit(total, fa, sa);
+        }
+    }
+}
+
+int
+SharingModelTable::slowLimit(int fastActive, int slowActive) const
+{
+    SMT_ASSERT(fastActive >= 0 && slowActive >= 0 &&
+               fastActive + slowActive <= maxActive,
+               "lookup (%d,%d) outside table", fastActive,
+               slowActive);
+    return table[static_cast<std::size_t>(fastActive *
+                                          (maxActive + 1) +
+                                          slowActive)];
+}
+
+int
+SharingModelTable::populatedEntries() const
+{
+    int n = 0;
+    for (int fa = 0; fa <= maxActive; ++fa)
+        for (int sa = 1; sa <= maxActive - fa; ++sa)
+            ++n;
+    return n;
+}
+
+} // namespace smt

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Static Resource Allocation (the Pentium-4-style sharing model the
+ * paper compares against): every thread is entitled to exactly 1/T
+ * of each shared resource, enforced as a hard cap at rename. Fetch
+ * ordering stays ICOUNT.
+ */
+
+#ifndef DCRA_SMT_POLICY_SRA_HH
+#define DCRA_SMT_POLICY_SRA_HH
+
+#include "policy/policy.hh"
+
+namespace smt {
+
+/** Even static partitioning of the five shared resources. */
+class SraPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "SRA"; }
+
+    bool
+    allocAllowed(ThreadID t, ResourceType r) override
+    {
+        const int share =
+            ctx.cfg->resourceTotal(r) / ctx.cfg->numThreads;
+        return ctx.tracker->occupancy(r, t) < share;
+    }
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_POLICY_SRA_HH

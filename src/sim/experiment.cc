@@ -1,0 +1,61 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+
+namespace smt {
+
+ExperimentContext::ExperimentContext(const SimConfig &base_,
+                                     std::uint64_t commitLimit,
+                                     std::uint64_t warmupCommits)
+    : base(base_), limit(commitLimit), warmup(warmupCommits)
+{
+}
+
+double
+ExperimentContext::singleThreadIpc(const std::string &bench)
+{
+    auto it = baselineCache.find(bench);
+    if (it != baselineCache.end())
+        return it->second;
+
+    Simulator sim(base, {bench}, PolicyKind::Icount);
+    const SimResult res = sim.run(limit, 50'000'000, warmup);
+    const double ipc = res.threads[0].ipc;
+    baselineCache.emplace(bench, ipc);
+    return ipc;
+}
+
+RunSummary
+ExperimentContext::runWorkload(const Workload &w, PolicyKind policy)
+{
+    Simulator sim(base, w.benches, policy);
+    RunSummary s;
+    s.raw = sim.run(limit, 50'000'000, warmup);
+    for (std::size_t i = 0; i < w.benches.size(); ++i) {
+        s.multiIpc.push_back(s.raw.threads[i].ipc);
+        s.singleIpc.push_back(singleThreadIpc(w.benches[i]));
+    }
+    s.throughput = s.raw.throughput();
+    s.hmean = hmeanSpeedup(s.multiIpc, s.singleIpc);
+    return s;
+}
+
+ExperimentContext::CellAverage
+ExperimentContext::runCell(int numThreads, WorkloadType type,
+                           PolicyKind policy)
+{
+    const auto cell = workloadsOf(numThreads, type);
+    SMT_ASSERT(!cell.empty(), "empty workload cell");
+    CellAverage avg;
+    for (const Workload &w : cell) {
+        const RunSummary s = runWorkload(w, policy);
+        avg.throughput += s.throughput;
+        avg.hmean += s.hmean;
+    }
+    avg.throughput /= static_cast<double>(cell.size());
+    avg.hmean /= static_cast<double>(cell.size());
+    return avg;
+}
+
+} // namespace smt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment plumbing shared by the bench binaries: runs workloads
+ * under policies, caches single-thread baselines (needed for Hmean),
+ * and averages the four groups of each workload cell the way the
+ * paper does.
+ */
+
+#ifndef DCRA_SMT_SIM_EXPERIMENT_HH
+#define DCRA_SMT_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "policy/factory.hh"
+#include "sim/simulator.hh"
+#include "sim/workload.hh"
+
+namespace smt {
+
+/** Condensed outcome of one multithreaded run. */
+struct RunSummary
+{
+    double throughput = 0.0;  //!< sum of per-thread IPC
+    double hmean = 0.0;       //!< Hmean of speedups vs single-thread
+    std::vector<double> multiIpc;
+    std::vector<double> singleIpc;
+    SimResult raw;
+};
+
+/**
+ * Shared context for a family of runs under one hardware
+ * configuration. Single-thread baselines are cached per benchmark.
+ */
+class ExperimentContext
+{
+  public:
+    /**
+     * @param base hardware/policy configuration for all runs.
+     * @param commitLimit per-run first-thread commit budget.
+     * @param warmupCommits commits executed before measuring.
+     */
+    explicit ExperimentContext(const SimConfig &base,
+                               std::uint64_t commitLimit = 100'000,
+                               std::uint64_t warmupCommits = 0);
+
+    /** Single-thread IPC of a benchmark (cached). */
+    double singleThreadIpc(const std::string &bench);
+
+    /** Run one workload under one policy. */
+    RunSummary runWorkload(const Workload &w, PolicyKind policy);
+
+    /**
+     * Average throughput and Hmean of the four groups of a workload
+     * cell under one policy.
+     */
+    struct CellAverage
+    {
+        double throughput = 0.0;
+        double hmean = 0.0;
+    };
+    CellAverage runCell(int numThreads, WorkloadType type,
+                        PolicyKind policy);
+
+    /** Configuration in use. */
+    const SimConfig &config() const { return base; }
+
+    /** Commit budget per run. */
+    std::uint64_t commitLimit() const { return limit; }
+
+  private:
+    SimConfig base;
+    std::uint64_t limit;
+    std::uint64_t warmup;
+    std::map<std::string, double> baselineCache;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_SIM_EXPERIMENT_HH

@@ -1,0 +1,32 @@
+#include "sim/metrics.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace smt {
+
+double
+hmeanSpeedup(const std::vector<double> &multiIpc,
+             const std::vector<double> &singleIpc)
+{
+    SMT_ASSERT(multiIpc.size() == singleIpc.size(),
+               "mismatched ipc vectors");
+    std::vector<double> speedups;
+    speedups.reserve(multiIpc.size());
+    for (std::size_t i = 0; i < multiIpc.size(); ++i) {
+        const double s =
+            singleIpc[i] > 0.0 ? multiIpc[i] / singleIpc[i] : 0.0;
+        speedups.push_back(s);
+    }
+    return harmonicMean(speedups);
+}
+
+double
+improvementPct(double a, double b)
+{
+    if (b == 0.0)
+        return 0.0;
+    return 100.0 * (a - b) / b;
+}
+
+} // namespace smt

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SMT performance metrics (paper section 4): IPC throughput and the
+ * Hmean throughput/fairness balance of Luo, Gummaraju and Franklin.
+ */
+
+#ifndef DCRA_SMT_SIM_METRICS_HH
+#define DCRA_SMT_SIM_METRICS_HH
+
+#include <vector>
+
+namespace smt {
+
+/**
+ * Hmean: harmonic mean of per-thread speedups relative to running
+ * alone on the same hardware.
+ *
+ * @param multiIpc IPC of each thread in the multithreaded run.
+ * @param singleIpc IPC of each thread running alone.
+ */
+double hmeanSpeedup(const std::vector<double> &multiIpc,
+                    const std::vector<double> &singleIpc);
+
+/** Relative improvement of a over b, in percent. */
+double improvementPct(double a, double b);
+
+} // namespace smt
+
+#endif // DCRA_SMT_SIM_METRICS_HH

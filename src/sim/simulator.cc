@@ -1,0 +1,188 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/bench_profile.hh"
+
+namespace smt {
+
+Simulator::Simulator(const SimConfig &cfg_,
+                     const std::vector<std::string> &benches,
+                     PolicyKind policyKind)
+    : Simulator(cfg_, benches, makePolicy(policyKind, cfg_.policy))
+{
+}
+
+Simulator::Simulator(const SimConfig &cfg_,
+                     const std::vector<std::string> &benches,
+                     std::unique_ptr<Policy> customPolicy)
+    : cfg(cfg_), benchNames(benches)
+{
+    SMT_ASSERT(!benches.empty() &&
+               static_cast<int>(benches.size()) <= maxThreads,
+               "bad workload size %zu", benches.size());
+    SMT_ASSERT(customPolicy != nullptr, "null policy");
+    cfg.core.numThreads = static_cast<int>(benches.size());
+
+    mem = std::make_unique<MemorySystem>(cfg.mem,
+                                         cfg.core.numThreads);
+    bpred = std::make_unique<BranchPredictor>(cfg.bpred,
+                                              cfg.core.numThreads);
+    pol = std::move(customPolicy);
+
+    std::vector<Pipeline::ThreadProgram> programs;
+    for (int t = 0; t < cfg.core.numThreads; ++t) {
+        const BenchProfile &prof = benchProfile(benches[t]);
+        gens.push_back(std::make_unique<SyntheticTraceGenerator>(
+            prof, cfg.seed + 7919ull * static_cast<std::uint64_t>(t)));
+        programs.push_back({gens.back().get(), &gens.back()->profile()});
+    }
+
+    pipe = std::make_unique<Pipeline>(cfg.core, *mem, *bpred, *pol,
+                                      std::move(programs));
+    prewarm();
+}
+
+void
+Simulator::prewarm()
+{
+    // Traces stand for the middle of a long-running execution
+    // (SimPoint-style), so the frequently reused regions -- code,
+    // the near data set, and the L2-resident mid set -- start
+    // resident, as they would be hundreds of millions of
+    // instructions in. The far/stream regions stay cold on purpose:
+    // missing on them *is* their steady state.
+    constexpr Addr threadStride =
+        0x10000000000ull + 81 * 64; // pipeline's base
+    const int line = cfg.mem.l1d.lineSize;
+    const Addr page = cfg.mem.dtlb.pageBytes;
+
+    // Fill order matters when the combined footprints exceed the L2:
+    // least-critical first (mid), code last, and code interleaved
+    // across threads so no thread's working set is wiped wholesale.
+    for (int t = 0; t < cfg.core.numThreads; ++t) {
+        const Addr base = static_cast<Addr>(t) * threadStride;
+        const BenchProfile &prof = benchProfile(benchNames[t]);
+        for (Addr off = 0; off < prof.midBytes;
+             off += static_cast<Addr>(line)) {
+            mem->l2().fill(base + layout::midBase + off);
+        }
+        for (Addr off = 0; off < prof.midBytes; off += page)
+            mem->dtlb(t).access(base + layout::midBase + off);
+    }
+    for (int t = 0; t < cfg.core.numThreads; ++t) {
+        const Addr base = static_cast<Addr>(t) * threadStride;
+        const BenchProfile &prof = benchProfile(benchNames[t]);
+        for (Addr off = 0; off < prof.nearBytes;
+             off += static_cast<Addr>(line)) {
+            const Addr a = base + layout::nearBase + off;
+            mem->l1d().fill(a);
+            mem->l2().fill(a);
+        }
+        for (Addr off = 0; off < prof.nearBytes; off += page)
+            mem->dtlb(t).access(base + layout::nearBase + off);
+        for (Addr off = 0; off < prof.codeFootprint; off += page)
+            mem->itlb(t).access(base + layout::codeBase + off);
+    }
+    Addr maxCode = 0;
+    for (int t = 0; t < cfg.core.numThreads; ++t) {
+        maxCode = std::max(maxCode,
+                           benchProfile(benchNames[t]).codeFootprint);
+    }
+    for (Addr off = 0; off < maxCode;
+         off += static_cast<Addr>(line)) {
+        for (int t = 0; t < cfg.core.numThreads; ++t) {
+            const BenchProfile &prof = benchProfile(benchNames[t]);
+            if (off >= prof.codeFootprint)
+                continue;
+            const Addr a = static_cast<Addr>(t) * threadStride +
+                layout::codeBase + off;
+            mem->l1i().fill(a);
+            mem->l2().fill(a);
+        }
+    }
+    mem->resetStats();
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run(std::uint64_t commitLimit, Cycle maxCycles,
+               std::uint64_t warmupCommits)
+{
+    const int n = cfg.core.numThreads;
+
+    if (warmupCommits > 0) {
+        bool warm = false;
+        while (!warm && pipe->now() < maxCycles) {
+            pipe->tick();
+            for (int t = 0; t < n; ++t) {
+                if (pipe->stats().committed[t] >= warmupCommits) {
+                    warm = true;
+                    break;
+                }
+            }
+        }
+        pipe->resetStats();
+        mem->resetStats();
+    }
+
+    std::vector<std::uint64_t> slowCycles(
+        static_cast<std::size_t>(n) + 1, 0);
+    Histogram mlp(64);
+
+    bool done = false;
+    while (!done && pipe->now() < maxCycles) {
+        pipe->tick();
+
+        int nSlow = 0;
+        for (int t = 0; t < n; ++t) {
+            if (mem->pendingL1DLoads(t) > 0)
+                ++nSlow;
+        }
+        ++slowCycles[static_cast<std::size_t>(nSlow)];
+        mlp.sample(
+            static_cast<std::uint64_t>(mem->outstandingMemLoads()));
+
+        for (int t = 0; t < n; ++t) {
+            if (pipe->stats().committed[t] >= commitLimit) {
+                done = true;
+                break;
+            }
+        }
+    }
+
+    if (!done) {
+        warn("run hit the cycle cap (%llu) before any thread "
+             "committed %llu instructions",
+             static_cast<unsigned long long>(maxCycles),
+             static_cast<unsigned long long>(commitLimit));
+    }
+
+    const PipelineStats &ps = pipe->stats();
+    SimResult res;
+    res.cycles = ps.cycles;
+    res.slowPhaseCycles = std::move(slowCycles);
+    res.mlpBusyMean = mlp.meanNonZero();
+    for (int t = 0; t < n; ++t) {
+        ThreadResult tr;
+        tr.bench = benchNames[t];
+        tr.committed = ps.committed[t];
+        tr.ipc = ps.ipc(t);
+        tr.fetched = ps.fetched[t];
+        tr.fetchedWrongPath = ps.fetchedWrongPath[t];
+        tr.squashed = ps.squashed[t];
+        tr.condBranches = ps.condBranches[t];
+        tr.mispredicts = ps.mispredicts[t];
+        tr.flushes = ps.flushes[t];
+        tr.l1dAccesses = mem->l1dAccesses(t);
+        tr.l1dMisses = mem->l1dMisses(t);
+        tr.l2Accesses = mem->l2DataAccesses(t);
+        tr.l2Misses = mem->l2DataMisses(t);
+        res.threads.push_back(std::move(tr));
+    }
+    return res;
+}
+
+} // namespace smt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Top-level simulation driver: owns the memory system, branch
+ * predictor, trace generators, policy and pipeline for one run, and
+ * collects the per-run measurements the experiments report.
+ */
+
+#ifndef DCRA_SMT_SIM_SIMULATOR_HH
+#define DCRA_SMT_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/pipeline.hh"
+#include "core/smt_config.hh"
+#include "mem/memory_system.hh"
+#include "policy/factory.hh"
+#include "trace/generator.hh"
+
+namespace smt {
+
+/** Everything configurable about one run. */
+struct SimConfig
+{
+    SmtConfig core;
+    MemParams mem;
+    BpredParams bpred;
+    PolicyParams policy;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Per-thread outcome of a run. */
+struct ThreadResult
+{
+    std::string bench;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    std::uint64_t fetched = 0;
+    std::uint64_t fetchedWrongPath = 0;
+    std::uint64_t squashed = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** Data-side L2 miss rate in percent (paper Table 3 metric). */
+    double
+    l2MissRatePct() const
+    {
+        return l2Accesses ? 100.0 * static_cast<double>(l2Misses) /
+                static_cast<double>(l2Accesses)
+                          : 0.0;
+    }
+};
+
+/** Whole-run outcome. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::vector<ThreadResult> threads;
+
+    /** cycles in which exactly n threads were in a slow phase. */
+    std::vector<std::uint64_t> slowPhaseCycles;
+
+    /** Mean outstanding memory-level loads over busy cycles (MLP). */
+    double mlpBusyMean = 0.0;
+
+    /** IPC throughput (sum over threads). */
+    double
+    throughput() const
+    {
+        double s = 0.0;
+        for (const auto &t : threads)
+            s += t.ipc;
+        return s;
+    }
+
+    /** Total fetched instructions including wrong path. */
+    std::uint64_t
+    totalFetched() const
+    {
+        std::uint64_t s = 0;
+        for (const auto &t : threads)
+            s += t.fetched;
+        return s;
+    }
+};
+
+/**
+ * One simulation instance. Construct, run once, read the result.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param cfg full configuration.
+     * @param benches one profile name per hardware context; the core
+     *        config's numThreads is overridden to match.
+     * @param policyKind which policy arbitrates resources.
+     */
+    Simulator(const SimConfig &cfg,
+              const std::vector<std::string> &benches,
+              PolicyKind policyKind);
+
+    /**
+     * Same, but with a user-provided policy implementation (see
+     * examples/custom_policy.cpp).
+     */
+    Simulator(const SimConfig &cfg,
+              const std::vector<std::string> &benches,
+              std::unique_ptr<Policy> customPolicy);
+
+    ~Simulator();
+
+    /**
+     * Run until the first thread commits commitLimit instructions or
+     * maxCycles elapse (whichever is first).
+     *
+     * @param warmupCommits commits (first thread) executed before
+     *        statistics collection starts; caches, predictors and
+     *        policy state stay warm across the reset.
+     */
+    SimResult run(std::uint64_t commitLimit,
+                  Cycle maxCycles = 50'000'000,
+                  std::uint64_t warmupCommits = 0);
+
+    /** The pipeline, for tests that need to poke internals. */
+    Pipeline &pipeline() { return *pipe; }
+
+    /** The memory system. */
+    MemorySystem &memory() { return *mem; }
+
+    /** The policy instance. */
+    Policy &policy() { return *pol; }
+
+  private:
+    /** Pre-load caches/TLBs with the hot regions (see .cc). */
+    void prewarm();
+
+    SimConfig cfg;
+    std::vector<std::string> benchNames;
+    std::unique_ptr<MemorySystem> mem;
+    std::unique_ptr<BranchPredictor> bpred;
+    std::unique_ptr<Policy> pol;
+    std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
+    std::unique_ptr<Pipeline> pipe;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_SIM_SIMULATOR_HH

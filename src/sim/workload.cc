@@ -1,0 +1,118 @@
+#include "sim/workload.hh"
+
+#include "common/logging.hh"
+
+namespace smt {
+
+const char *
+workloadTypeName(WorkloadType t)
+{
+    switch (t) {
+      case WorkloadType::ILP: return "ILP";
+      case WorkloadType::MIX: return "MIX";
+      case WorkloadType::MEM: return "MEM";
+      default: return "invalid";
+    }
+}
+
+namespace {
+
+Workload
+make(int n, WorkloadType ty, int group,
+     std::vector<std::string> benches)
+{
+    Workload w;
+    w.numThreads = n;
+    w.type = ty;
+    w.group = group;
+    w.benches = std::move(benches);
+    w.id = std::string(workloadTypeName(ty)) + std::to_string(n) +
+        ".g" + std::to_string(group);
+    SMT_ASSERT(static_cast<int>(w.benches.size()) == n,
+               "workload %s has %zu benches", w.id.c_str(),
+               w.benches.size());
+    return w;
+}
+
+std::vector<Workload>
+build()
+{
+    using WT = WorkloadType;
+    std::vector<Workload> v;
+
+    // ---- 2 threads (paper Table 4, row 1) ----
+    v.push_back(make(2, WT::ILP, 1, {"gzip", "bzip2"}));
+    v.push_back(make(2, WT::ILP, 2, {"wupwise", "gcc"}));
+    v.push_back(make(2, WT::ILP, 3, {"fma3d", "mesa"}));
+    v.push_back(make(2, WT::ILP, 4, {"apsi", "gcc"}));
+    v.push_back(make(2, WT::MIX, 1, {"gzip", "twolf"}));
+    v.push_back(make(2, WT::MIX, 2, {"wupwise", "twolf"}));
+    v.push_back(make(2, WT::MIX, 3, {"lucas", "crafty"}));
+    v.push_back(make(2, WT::MIX, 4, {"equake", "bzip2"}));
+    v.push_back(make(2, WT::MEM, 1, {"mcf", "twolf"}));
+    v.push_back(make(2, WT::MEM, 2, {"art", "vpr"}));
+    v.push_back(make(2, WT::MEM, 3, {"art", "twolf"}));
+    v.push_back(make(2, WT::MEM, 4, {"swim", "mcf"}));
+
+    // ---- 3 threads (row 2) ----
+    v.push_back(make(3, WT::ILP, 1, {"gcc", "eon", "gap"}));
+    v.push_back(make(3, WT::ILP, 2, {"gcc", "apsi", "gzip"}));
+    v.push_back(make(3, WT::ILP, 3, {"crafty", "perl", "wupwise"}));
+    v.push_back(make(3, WT::ILP, 4, {"mesa", "vortex", "fma3d"}));
+    v.push_back(make(3, WT::MIX, 1, {"twolf", "eon", "vortex"}));
+    v.push_back(make(3, WT::MIX, 2, {"lucas", "gap", "apsi"}));
+    v.push_back(make(3, WT::MIX, 3, {"equake", "perl", "gcc"}));
+    v.push_back(make(3, WT::MIX, 4, {"mcf", "apsi", "fma3d"}));
+    v.push_back(make(3, WT::MEM, 1, {"mcf", "twolf", "vpr"}));
+    v.push_back(make(3, WT::MEM, 2, {"swim", "twolf", "equake"}));
+    v.push_back(make(3, WT::MEM, 3, {"art", "twolf", "lucas"}));
+    v.push_back(make(3, WT::MEM, 4, {"equake", "vpr", "swim"}));
+
+    // ---- 4 threads (row 3) ----
+    v.push_back(make(4, WT::ILP, 1, {"gzip", "bzip2", "eon", "gcc"}));
+    v.push_back(make(4, WT::ILP, 2,
+                     {"mesa", "gzip", "fma3d", "bzip2"}));
+    v.push_back(make(4, WT::ILP, 3,
+                     {"crafty", "fma3d", "apsi", "vortex"}));
+    v.push_back(make(4, WT::ILP, 4,
+                     {"apsi", "gap", "wupwise", "perl"}));
+    v.push_back(make(4, WT::MIX, 1,
+                     {"gzip", "twolf", "bzip2", "mcf"}));
+    v.push_back(make(4, WT::MIX, 2,
+                     {"mcf", "mesa", "lucas", "gzip"}));
+    v.push_back(make(4, WT::MIX, 3,
+                     {"art", "gap", "twolf", "crafty"}));
+    v.push_back(make(4, WT::MIX, 4,
+                     {"swim", "fma3d", "vpr", "bzip2"}));
+    v.push_back(make(4, WT::MEM, 1,
+                     {"mcf", "twolf", "vpr", "parser"}));
+    v.push_back(make(4, WT::MEM, 2,
+                     {"art", "twolf", "equake", "mcf"}));
+    v.push_back(make(4, WT::MEM, 3,
+                     {"equake", "parser", "mcf", "lucas"}));
+    v.push_back(make(4, WT::MEM, 4, {"art", "mcf", "vpr", "swim"}));
+
+    return v;
+}
+
+} // anonymous namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> v = build();
+    return v;
+}
+
+std::vector<Workload>
+workloadsOf(int numThreads, WorkloadType type)
+{
+    std::vector<Workload> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.numThreads == numThreads && w.type == type)
+            out.push_back(w);
+    }
+    return out;
+}
+
+} // namespace smt

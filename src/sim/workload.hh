@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's multiprogrammed workloads (Table 4): 2/3/4 threads x
+ * {ILP, MIX, MEM} x 4 groups = 36 workloads over 20 SPEC CPU2000
+ * programs.
+ */
+
+#ifndef DCRA_SMT_SIM_WORKLOAD_HH
+#define DCRA_SMT_SIM_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace smt {
+
+/** Cache-behaviour class of a workload (paper section 4). */
+enum class WorkloadType {
+    ILP, //!< only high-ILP threads
+    MIX, //!< both kinds
+    MEM  //!< only memory-bounded threads
+};
+
+/** Printable type name. */
+const char *workloadTypeName(WorkloadType t);
+
+/** One multiprogrammed workload. */
+struct Workload
+{
+    std::string id;       //!< e.g. "MEM2.g1"
+    int numThreads;       //!< 2, 3 or 4
+    WorkloadType type;
+    int group;            //!< 1..4 (paper averages the groups)
+    std::vector<std::string> benches;
+};
+
+/** All 36 paper workloads. */
+const std::vector<Workload> &allWorkloads();
+
+/** The four groups of one (thread count, type) cell. */
+std::vector<Workload> workloadsOf(int numThreads, WorkloadType type);
+
+} // namespace smt
+
+#endif // DCRA_SMT_SIM_WORKLOAD_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Synthetic benchmark profiles.
+ *
+ * The paper traces 20 SPEC CPU2000 programs on Alpha hardware; those
+ * traces are not available, so each program is replaced by a
+ * parameterised synthetic profile with the same name. The parameters
+ * control instruction mix, dependency distances (ILP), branch
+ * behaviour, code footprint, and a blend of data-access regions whose
+ * sizes straddle the L1/L2 capacities so that the *measured* L1/L2
+ * miss rates land near the paper's Table 3 values. See DESIGN.md
+ * section 4 for the substitution argument.
+ */
+
+#ifndef DCRA_SMT_TRACE_BENCH_PROFILE_HH
+#define DCRA_SMT_TRACE_BENCH_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace smt {
+
+/**
+ * All knobs of one synthetic benchmark. Probabilities are per dynamic
+ * instruction (mix) or per memory operation (region blend).
+ */
+struct BenchProfile
+{
+    /** SPEC-2000 program this profile stands in for. */
+    const char *name = "";
+
+    /** Floating-point benchmark (uses fp registers and units). */
+    bool isFp = false;
+
+    /** Paper Table 3 L2 miss rate (%), for reporting only. */
+    double paperL2MissRate = 0.0;
+
+    /** @name Instruction mix (fractions of all instructions) */
+    /** @{ */
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracBranch = 0.15;
+    /** @} */
+
+    /** Among compute ops, fraction that are fp (fp benches only). */
+    double fracFpOfAlu = 0.0;
+
+    /** Among int compute ops, fraction that are multiplies. */
+    double fracMulOfInt = 0.05;
+
+    /** Among fp compute ops, fraction that are mul/div. */
+    double fracFpMulOfFp = 0.3;
+
+    /**
+     * Geometric parameter for dependency distance; larger values give
+     * closer (more serialising) dependencies, i.e. lower ILP.
+     */
+    double depP = 0.15;
+
+    /** Number of independent pointer-chase chains (0 = none). */
+    int chaseChains = 0;
+
+    /** Fraction of far-region loads that extend a chase chain. */
+    double chaseFrac = 0.0;
+
+    /**
+     * Fraction of static branch sites with a fixed direction; the
+     * rest are data-dependent sites taking their minority direction
+     * 25% of the time.
+     */
+    double brBiasedFrac = 0.9;
+
+    /**
+     * Fraction of conditional branches whose condition comes from
+     * the general dataflow (possibly a load result) instead of a
+     * quickly-available induction value. High values make mispredict
+     * recovery wait on cache misses (mcf-like).
+     */
+    double brDependsOnLoadFrac = 0.08;
+
+    /** Fraction of branch sites that are subroutine calls. */
+    double brCallFrac = 0.06;
+
+    /** Mean synthetic function length in instructions. */
+    double callMeanLen = 48.0;
+
+    /** @name Loop structure (control-flow locality) */
+    /** @{ */
+
+    /** Mean loop body length in instructions. */
+    double loopMeanLen = 40.0;
+
+    /** Mean iterations per loop visit. */
+    double loopMeanIters = 12.0;
+
+    /** Probability a finished loop jumps to a fresh code region. */
+    double newRegionProb = 0.25;
+
+    /** @} */
+
+    /** Static code footprint in bytes (drives I-cache behaviour). */
+    Addr codeFootprint = 64 * 1024;
+
+    /** @name Data-region blend (fractions of memory ops; rest near) */
+    /** @{ */
+    double fMid = 0.05;    //!< region sized between L1 and L2
+    double fFar = 0.0;     //!< region far beyond L2
+    double fStream = 0.0;  //!< sequential streams through far memory
+    /** @} */
+
+    /** Region sizes in bytes. */
+    Addr nearBytes = 32 * 1024;
+    Addr midBytes = 320 * 1024;
+    Addr farBytes = 32ull * 1024 * 1024;
+
+    /**
+     * Temporal-locality skew: fraction of near/mid accesses that go
+     * to the hottest eighth of the region. Real reuse distributions
+     * are heavily skewed; without this, co-running threads thrash
+     * each other's cache sets far more than real programs do.
+     */
+    double nearHotFrac = 1.0;
+    double midHotFrac = 0.75;
+
+    /** Number of concurrent sequential streams. */
+    int nStreams = 4;
+
+    /** Stream stride in bytes. */
+    Addr streamStride = 8;
+
+    /** Fraction of instructions spent in the memory-intensive phase. */
+    double memPhaseFrac = 1.0;
+
+    /** Phase alternation period in instructions. */
+    std::uint64_t phasePeriod = 16384;
+
+    /** Scale applied to fMid/fFar/fStream outside the memory phase. */
+    double calmFactor = 0.15;
+};
+
+/**
+ * Look up a profile by SPEC program name (e.g. "mcf").
+ * Calls fatal() for unknown names.
+ */
+const BenchProfile &benchProfile(const std::string &name);
+
+/** All profile names, paper Table 3 order (MEM first, then ILP). */
+const std::vector<std::string> &allBenchNames();
+
+/** True if the paper classifies this program as memory-bounded. */
+bool isMemBench(const std::string &name);
+
+} // namespace smt
+
+#endif // DCRA_SMT_TRACE_BENCH_PROFILE_HH

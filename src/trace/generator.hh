@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation.
+ *
+ * A SyntheticTraceGenerator turns a BenchProfile into an endless,
+ * reproducible correct-path instruction stream. The stream supports
+ * bounded rewind (replayWindow() instructions back) because the FLUSH
+ * policy squashes committed-path instructions that must then be
+ * fetched again, and keeps no heap state per instruction.
+ */
+
+#ifndef DCRA_SMT_TRACE_GENERATOR_HH
+#define DCRA_SMT_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/bench_profile.hh"
+#include "trace/trace_inst.hh"
+
+namespace smt {
+
+/**
+ * Abstract correct-path instruction source for one thread. Users of
+ * the library can implement this to feed real traces to the core.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Next not-yet-consumed correct-path instruction. */
+    virtual const TraceInst &peek() = 0;
+
+    /** Advance past the instruction peek() returned. */
+    virtual void consume() = 0;
+
+    /** Trace index of the instruction peek() returns. */
+    virtual std::uint64_t nextIndex() const = 0;
+
+    /**
+     * Re-position so nextIndex() == idx; idx must lie within
+     * replayWindow() of the furthest point ever reached.
+     */
+    virtual void rewindTo(std::uint64_t idx) = 0;
+
+    /** How far back rewindTo() may go. */
+    virtual std::uint64_t replayWindow() const = 0;
+};
+
+/**
+ * Region base addresses used by generated code/data streams. The
+ * low-order offsets stagger the regions across cache sets so a
+ * thread's own regions do not all start at set 0.
+ */
+namespace layout {
+constexpr Addr codeBase = 0x00400000ull;
+constexpr Addr nearBase = 0x10002340ull;
+constexpr Addr midBase = 0x20008100ull;
+constexpr Addr farBase = 0x40004840ull;
+constexpr Addr streamBase = 0x8000c3c0ull;
+} // namespace layout
+
+/**
+ * Endless synthetic instruction stream for one benchmark profile.
+ * Equal (profile, seed) pairs produce identical streams.
+ */
+class SyntheticTraceGenerator : public TraceSource
+{
+  public:
+    /**
+     * @param profile benchmark parameters (copied).
+     * @param seed RNG seed; vary per thread for workload diversity.
+     */
+    SyntheticTraceGenerator(const BenchProfile &profile,
+                            std::uint64_t seed);
+
+    const TraceInst &peek() override;
+    void consume() override;
+    std::uint64_t nextIndex() const override { return readIdx; }
+    void rewindTo(std::uint64_t idx) override;
+    std::uint64_t replayWindow() const override { return ringCap; }
+
+    /** Profile this generator follows. */
+    const BenchProfile &profile() const { return prof; }
+
+  private:
+    static constexpr std::uint64_t ringCap = 8192;
+    static constexpr int recentRegs = 32;
+
+    /** Why a branch is being generated. */
+    enum class BranchRole {
+        Mix,       //!< per-PC branch site inside a loop body
+        LoopBack,  //!< the loop's closing backward branch
+        Return,    //!< forced subroutine return
+        RegionJump //!< jump to a fresh code region
+    };
+
+    /** Produce the next instruction of the underlying stream. */
+    TraceInst generate();
+
+    /** Fill in branch-specific fields and advance the PC. */
+    void genBranch(TraceInst &ti, BranchRole role);
+
+    /** Begin a new loop at the given PC. */
+    void startLoop(Addr start);
+
+    /** Pick an effective address for a memory op; may set chasing. */
+    void genMemAddr(TraceInst &ti, double mult);
+
+    /** Fresh integer destination register. */
+    ArchRegId nextIntDst();
+
+    /** Fresh fp destination register (unified id). */
+    ArchRegId nextFpDst();
+
+    /** Recently-written integer register, geometric distance. */
+    ArchRegId pickIntSrc();
+
+    /** Source register for a branch condition. */
+    ArchRegId pickBranchSrc();
+
+    /** Recently-written fp register, geometric distance. */
+    ArchRegId pickFpSrc();
+
+    /** Record a destination in the recency rings. */
+    void recordDst(ArchRegId r);
+
+    /** Wrap a PC into the code footprint. */
+    Addr wrapPc(Addr pc) const;
+
+    /** Deterministic per-site hash for instruction properties. */
+    std::uint64_t siteHash(Addr pc) const;
+
+    BenchProfile prof;
+    Rng rng;
+    std::uint64_t classSalt = 0;
+
+    // --- generation state ---
+    Addr curPc;
+    std::uint64_t genIdx = 0; //!< index of next inst to generate
+    std::uint64_t readIdx = 0; //!< index of next inst to deliver
+    std::vector<TraceInst> ring;
+
+    // --- loop structure ---
+    Addr loopStart = 0;
+    Addr loopEndPc = 0;
+    int itersLeft = 0;
+    bool pendingRegionJump = false;
+    std::vector<Addr> regionAnchors;
+
+    ArchRegId recentInt[recentRegs] = {};
+    ArchRegId recentFp[recentRegs] = {};
+    int recentIntCount = 0;
+    int recentFpCount = 0;
+    int intDstCycle = 0;
+    int fpDstCycle = 0;
+    ArchRegId lastIntAluDst = invalidArchReg;
+
+    struct Frame { Addr retAddr; int remaining; };
+    std::vector<Frame> callStack;
+
+    std::vector<Addr> streamPos;
+    int chainNext = 0;
+};
+
+/**
+ * Deterministic wrong-path instruction synthesis: what the front end
+ * fetches from @p pc while running down a mispredicted path. Pure
+ * function of (pc, salt, profile) so replay stays reproducible and
+ * the correct-path RNG stream is not disturbed.
+ */
+TraceInst wrongPathInst(Addr pc, const BenchProfile &prof,
+                        std::uint64_t salt);
+
+} // namespace smt
+
+#endif // DCRA_SMT_TRACE_GENERATOR_HH

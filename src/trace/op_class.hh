@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Abstract operation classes for trace instructions.
+ *
+ * The simulator is ISA-agnostic: the Alpha binaries the paper traces
+ * are replaced by synthetic streams of these op classes (see
+ * DESIGN.md section 4).
+ */
+
+#ifndef DCRA_SMT_TRACE_OP_CLASS_HH
+#define DCRA_SMT_TRACE_OP_CLASS_HH
+
+#include <cstdint>
+
+namespace smt {
+
+/** Coarse functional classes; each maps to one issue queue. */
+enum class OpClass : std::uint8_t {
+    IntAlu,     //!< single-cycle integer op
+    IntMul,     //!< integer multiply (3 cycles)
+    FpAlu,      //!< pipelined fp add/sub/cvt (4 cycles)
+    FpMulDiv,   //!< fp multiply/divide (longer latency)
+    Load,       //!< memory read
+    Store,      //!< memory write
+    Branch,     //!< control transfer (executes on an int unit)
+    NumOpClasses
+};
+
+/** Issue-queue / resource class for an op. */
+enum class QueueClass : std::uint8_t {
+    IntQ = 0,   //!< integer issue queue
+    FpQ = 1,    //!< floating-point issue queue
+    LsQ = 2,    //!< load/store issue queue
+    NumQueueClasses
+};
+
+constexpr int numQueueClasses =
+    static_cast<int>(QueueClass::NumQueueClasses);
+
+/** Map an op class to the issue queue it occupies. */
+constexpr QueueClass
+queueClassOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpAlu:
+      case OpClass::FpMulDiv:
+        return QueueClass::FpQ;
+      case OpClass::Load:
+      case OpClass::Store:
+        return QueueClass::LsQ;
+      default:
+        return QueueClass::IntQ;
+    }
+}
+
+/** True for memory reads. */
+constexpr bool isLoad(OpClass op) { return op == OpClass::Load; }
+
+/** True for memory writes. */
+constexpr bool isStore(OpClass op) { return op == OpClass::Store; }
+
+/** True for any memory op. */
+constexpr bool isMem(OpClass op) { return isLoad(op) || isStore(op); }
+
+/** True for control transfers. */
+constexpr bool isBranch(OpClass op) { return op == OpClass::Branch; }
+
+/** True for ops executing on the fp units. */
+constexpr bool
+isFpOp(OpClass op)
+{
+    return op == OpClass::FpAlu || op == OpClass::FpMulDiv;
+}
+
+/** Printable op-class name. */
+constexpr const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:   return "IntAlu";
+      case OpClass::IntMul:   return "IntMul";
+      case OpClass::FpAlu:    return "FpAlu";
+      case OpClass::FpMulDiv: return "FpMulDiv";
+      case OpClass::Load:     return "Load";
+      case OpClass::Store:    return "Store";
+      case OpClass::Branch:   return "Branch";
+      default:                return "Invalid";
+    }
+}
+
+} // namespace smt
+
+#endif // DCRA_SMT_TRACE_OP_CLASS_HH

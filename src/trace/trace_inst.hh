@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One record of a (synthetic) instruction trace.
+ *
+ * Register identifiers live in a unified logical space:
+ * [0, numIntArchRegs) are integer registers and
+ * [numIntArchRegs, numIntArchRegs + numFpArchRegs) are fp registers.
+ * The paper's rename-register arithmetic implies 40 architectural
+ * registers per class per context (320 phys - 40x4 = 160 rename), so
+ * we use 40 int + 40 fp.
+ */
+
+#ifndef DCRA_SMT_TRACE_TRACE_INST_HH
+#define DCRA_SMT_TRACE_TRACE_INST_HH
+
+#include "common/types.hh"
+#include "trace/op_class.hh"
+
+namespace smt {
+
+/** Architectural integer registers per hardware context. */
+constexpr int numIntArchRegs = 40;
+
+/** Architectural fp registers per hardware context. */
+constexpr int numFpArchRegs = 40;
+
+/** Total logical register namespace size per context. */
+constexpr int numArchRegs = numIntArchRegs + numFpArchRegs;
+
+/** True if a unified-space logical register is an fp register. */
+constexpr bool
+isFpReg(ArchRegId r)
+{
+    return r >= numIntArchRegs;
+}
+
+/**
+ * A single trace instruction. Plain data; copied into DynInst when the
+ * instruction enters the pipeline.
+ */
+struct TraceInst
+{
+    /** Program counter of this instruction. */
+    Addr pc = 0;
+
+    /** Effective address, valid for loads and stores. */
+    Addr effAddr = 0;
+
+    /** Branch target when taken, valid for branches. */
+    Addr target = 0;
+
+    /** Functional class. */
+    OpClass op = OpClass::IntAlu;
+
+    /** Destination logical register or invalidArchReg. */
+    ArchRegId dst = invalidArchReg;
+
+    /** First source logical register or invalidArchReg. */
+    ArchRegId src1 = invalidArchReg;
+
+    /** Second source logical register or invalidArchReg. */
+    ArchRegId src2 = invalidArchReg;
+
+    /** Resolved direction, valid for branches. */
+    bool taken = false;
+
+    /** Branch is a subroutine call (pushes the RAS). */
+    bool isCall = false;
+
+    /** Branch is a subroutine return (pops the RAS). */
+    bool isReturn = false;
+
+    /** Branch is conditional (direction-predicted). */
+    bool isCond = false;
+
+    /** Next sequential PC. */
+    Addr nextPc() const { return pc + 4; }
+
+    /** PC the instruction actually transfers control to. */
+    Addr
+    actualNextPc() const
+    {
+        return (isBranch(op) && taken) ? target : nextPc();
+    }
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_TRACE_TRACE_INST_HH

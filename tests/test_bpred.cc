@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the branch unit: gshare learning and history
+ * handling, BTB behaviour, RAS push/pop and snapshot repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/predictor.hh"
+
+namespace {
+
+using namespace smt;
+
+TraceInst
+condBranch(Addr pc, bool taken, Addr target)
+{
+    TraceInst ti;
+    ti.pc = pc;
+    ti.op = OpClass::Branch;
+    ti.isCond = true;
+    ti.taken = taken;
+    ti.target = target;
+    return ti;
+}
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    Gshare g(1024, 8, 1);
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 4; ++i) {
+        g.update(pc, g.history(0), true);
+        g.pushHistory(0, true);
+    }
+    EXPECT_TRUE(g.predict(0, pc));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    Gshare g(1024, 8, 1);
+    const Addr pc = 0x4000;
+    for (int i = 0; i < 4; ++i) {
+        g.update(pc, g.history(0), false);
+        g.pushHistory(0, false);
+    }
+    EXPECT_FALSE(g.predict(0, pc));
+}
+
+TEST(Gshare, HistoryIsPerThread)
+{
+    Gshare g(1024, 8, 2);
+    g.pushHistory(0, true);
+    g.pushHistory(0, true);
+    EXPECT_EQ(g.history(0), 3u);
+    EXPECT_EQ(g.history(1), 0u);
+}
+
+TEST(Gshare, HistoryMasked)
+{
+    Gshare g(1024, 4, 1);
+    for (int i = 0; i < 64; ++i)
+        g.pushHistory(0, true);
+    EXPECT_EQ(g.history(0), 0xFu);
+}
+
+TEST(Gshare, IndexMixesHistoryAndPc)
+{
+    Gshare g(1024, 10, 1);
+    const int i1 = g.index(0x4000, 0);
+    const int i2 = g.index(0x4000, 0x3FF);
+    EXPECT_NE(i1, i2);
+    EXPECT_LT(i1, 1024);
+    EXPECT_LT(i2, 1024);
+}
+
+TEST(Gshare, SetHistoryRestores)
+{
+    Gshare g(1024, 8, 1);
+    g.pushHistory(0, true);
+    const auto snap = g.history(0);
+    g.pushHistory(0, false);
+    g.pushHistory(0, true);
+    g.setHistory(0, snap);
+    EXPECT_EQ(g.history(0), snap);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb b(64, 4);
+    Addr t = 0;
+    EXPECT_FALSE(b.lookup(0x4000, t));
+    b.update(0x4000, 0x8000);
+    ASSERT_TRUE(b.lookup(0x4000, t));
+    EXPECT_EQ(t, 0x8000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb b(64, 4);
+    b.update(0x4000, 0x8000);
+    b.update(0x4000, 0x9000);
+    Addr t = 0;
+    ASSERT_TRUE(b.lookup(0x4000, t));
+    EXPECT_EQ(t, 0x9000u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    Btb b(8, 2); // 4 sets x 2 ways
+    // Three pcs mapping to the same set (pc>>2 & 3):
+    const Addr a = 0x1000, c = 0x1010, d = 0x1020;
+    b.update(a, 1);
+    b.update(c, 2);
+    Addr t = 0;
+    ASSERT_TRUE(b.lookup(a, t)); // refresh a, c becomes LRU
+    b.update(d, 3);              // evicts c
+    EXPECT_TRUE(b.lookup(a, t));
+    EXPECT_FALSE(b.lookup(c, t));
+    EXPECT_TRUE(b.lookup(d, t));
+}
+
+TEST(Ras, PushPopOrder)
+{
+    Ras r(8);
+    r.push(100);
+    r.push(200);
+    EXPECT_EQ(r.pop(), 200u);
+    EXPECT_EQ(r.pop(), 100u);
+}
+
+TEST(Ras, SnapshotRestore)
+{
+    Ras r(8);
+    r.push(100);
+    const int tos = r.tos();
+    const int depth = r.size();
+    r.push(200);
+    r.pop();
+    r.pop();
+    r.restore(tos, depth);
+    EXPECT_EQ(r.pop(), 100u);
+}
+
+TEST(Ras, WrapsAtCapacity)
+{
+    Ras r(4);
+    for (Addr i = 1; i <= 6; ++i)
+        r.push(i * 10);
+    EXPECT_EQ(r.size(), 4);
+    EXPECT_EQ(r.pop(), 60u);
+    EXPECT_EQ(r.pop(), 50u);
+}
+
+class PredictorTest : public ::testing::Test
+{
+  protected:
+    PredictorTest()
+        : bp(BpredParams{}, 2)
+    {
+    }
+    BranchPredictor bp;
+};
+
+TEST_F(PredictorTest, CondBranchLearnsDirectionAndTarget)
+{
+    const TraceInst ti = condBranch(0x4000, true, 0x5000);
+    // train several times
+    for (int i = 0; i < 4; ++i) {
+        const BranchPrediction p = bp.predict(0, ti);
+        bp.update(0, ti, p.snap.history);
+    }
+    const BranchPrediction p = bp.predict(0, ti);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x5000u);
+}
+
+TEST_F(PredictorTest, PredictedTakenWithoutTargetFallsThrough)
+{
+    // Fresh predictor: counters start weakly taken, but the BTB is
+    // empty, so the effective prediction must be not-taken.
+    const TraceInst ti = condBranch(0x4400, true, 0x5000);
+    const BranchPrediction p = bp.predict(0, ti);
+    EXPECT_FALSE(p.taken);
+}
+
+TEST_F(PredictorTest, ReturnUsesRas)
+{
+    TraceInst call;
+    call.pc = 0x4000;
+    call.op = OpClass::Branch;
+    call.isCall = true;
+    call.taken = true;
+    call.target = 0x9000;
+    bp.predict(0, call);
+
+    TraceInst ret;
+    ret.pc = 0x9100;
+    ret.op = OpClass::Branch;
+    ret.isReturn = true;
+    ret.taken = true;
+    ret.target = call.nextPc();
+    const BranchPrediction p = bp.predict(0, ret);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, call.nextPc());
+}
+
+TEST_F(PredictorTest, RepairRestoresHistoryAndRas)
+{
+    const BpredSnapshot before = bp.snapshot(0);
+    TraceInst call;
+    call.pc = 0x4000;
+    call.op = OpClass::Branch;
+    call.isCall = true;
+    call.taken = true;
+    call.target = 0x9000;
+    bp.predict(0, call);
+    bp.predict(0, condBranch(0x9000, true, 0x9100));
+    EXPECT_NE(bp.snapshot(0).history, before.history);
+
+    bp.repair(0, before);
+    EXPECT_EQ(bp.snapshot(0).history, before.history);
+    EXPECT_EQ(bp.snapshot(0).rasTos, before.rasTos);
+    EXPECT_EQ(bp.snapshot(0).rasDepth, before.rasDepth);
+}
+
+TEST_F(PredictorTest, ReapplyRedoesBranchEffect)
+{
+    const TraceInst ti = condBranch(0x4000, true, 0x5000);
+    const BranchPrediction p = bp.predict(0, ti);
+    // Pretend ti mispredicted: restore, then reapply actual outcome.
+    bp.repair(0, p.snap);
+    bp.reapply(0, ti);
+    EXPECT_EQ(bp.snapshot(0).history,
+              ((p.snap.history << 1) | 1u) & 0x3FFFu);
+}
+
+TEST_F(PredictorTest, ThreadsHaveIndependentRas)
+{
+    TraceInst call;
+    call.pc = 0x4000;
+    call.op = OpClass::Branch;
+    call.isCall = true;
+    call.taken = true;
+    call.target = 0x9000;
+    bp.predict(0, call);
+    EXPECT_EQ(bp.ras(0).size(), 1);
+    EXPECT_EQ(bp.ras(1).size(), 0);
+}
+
+TEST_F(PredictorTest, UncondTakenBranchUpdatesBtbOnly)
+{
+    TraceInst jmp;
+    jmp.pc = 0x4000;
+    jmp.op = OpClass::Branch;
+    jmp.taken = true;
+    jmp.target = 0x7000;
+    const BranchPrediction p = bp.predict(0, jmp);
+    bp.update(0, jmp, p.snap.history);
+    Addr t = 0;
+    EXPECT_TRUE(bp.btb().lookup(0x4000, t));
+    EXPECT_EQ(t, 0x7000u);
+    // history untouched by unconditional branches
+    EXPECT_EQ(bp.snapshot(0).history, p.snap.history);
+}
+
+} // anonymous namespace

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the common substrate: deterministic RNG,
+ * statistics helpers and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace {
+
+using namespace smt;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(17);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // mean of geometric (failures before success) = (1-p)/p = 3
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RunningMean, Basics)
+{
+    RunningMean m;
+    EXPECT_EQ(m.mean(), 0.0);
+    m.sample(2.0);
+    m.sample(4.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+    EXPECT_EQ(m.count(), 2u);
+    EXPECT_DOUBLE_EQ(m.total(), 6.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(Histogram, ClampsToLastBucket)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(3);
+    h.sample(99); // clamps to bucket 3
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, MeanAndNonZeroMean)
+{
+    Histogram h(16);
+    h.sample(0);
+    h.sample(0);
+    h.sample(4);
+    h.sample(8);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(h.meanNonZero(), 6.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(HarmonicMean, MatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 0.5}), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(HarmonicMean, ZeroSampleGivesZero)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, -1.0}), 0.0);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "long-header"});
+    t.row({"xxxx", "1"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("long-header"), std::string::npos);
+    EXPECT_NE(s.find("xxxx"), std::string::npos);
+    // header separator line present
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+} // anonymous namespace

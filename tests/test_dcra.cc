@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the paper's contribution: the sharing model (pinned to
+ * the exact values of paper Table 1), the formula/lookup-table
+ * equivalence, the thread phase and activity classifications, and
+ * the fetch-gating behaviour of the DCRA policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/dcra.hh"
+#include "policy/sharing_model.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace smt;
+
+// ---------------- sharing model ----------------
+
+TEST(SharingModel, PaperTable1Exact)
+{
+    // Table 1: 32-entry resource, 4-thread processor, C=1/(FA+SA).
+    const SharingModel m(SharingFactorMode::OverActive);
+    struct Row { int fa, sa, eSlow; };
+    const Row rows[] = {
+        {0, 1, 32}, {1, 1, 24}, {0, 2, 16}, {2, 1, 18}, {1, 2, 14},
+        {0, 3, 11}, {3, 1, 14}, {2, 2, 12}, {1, 3, 10}, {0, 4, 8},
+    };
+    for (const Row &r : rows) {
+        EXPECT_EQ(m.slowLimit(32, r.fa, r.sa), r.eSlow)
+            << "FA=" << r.fa << " SA=" << r.sa;
+    }
+}
+
+TEST(SharingModel, NoSlowThreadsMeansNoLimit)
+{
+    const SharingModel m(SharingFactorMode::OverActivePlus4);
+    EXPECT_EQ(m.slowLimit(80, 4, 0), 80);
+    EXPECT_EQ(m.slowLimit(80, 0, 0), 80);
+}
+
+TEST(SharingModel, ZeroFactorGivesEqualShareOfActive)
+{
+    const SharingModel m(SharingFactorMode::Zero);
+    EXPECT_EQ(m.slowLimit(80, 2, 2), 20);
+    EXPECT_EQ(m.slowLimit(80, 0, 4), 20);
+    EXPECT_EQ(m.slowLimit(80, 3, 1), 20);
+}
+
+TEST(SharingModel, Plus4FactorMatchesFormula)
+{
+    const SharingModel m(SharingFactorMode::OverActivePlus4);
+    // FA=3, SA=1, R=80: 80/4 * (1 + 3/8) = 27.5 -> 28
+    EXPECT_EQ(m.slowLimit(80, 3, 1), 28);
+    // FA=1, SA=1, R=80: 40 * (1 + 1/6) = 46.67 -> 47
+    EXPECT_EQ(m.slowLimit(80, 1, 1), 47);
+}
+
+TEST(SharingModel, SlowOnlyThreadsSplitEvenly)
+{
+    for (const auto mode : {SharingFactorMode::OverActive,
+                            SharingFactorMode::OverActivePlus4,
+                            SharingFactorMode::Zero}) {
+        const SharingModel m(mode);
+        EXPECT_EQ(m.slowLimit(80, 0, 4), 20);
+        EXPECT_EQ(m.slowLimit(80, 0, 2), 40);
+    }
+}
+
+TEST(SharingModel, LimitNeverExceedsTotal)
+{
+    const SharingModel m(SharingFactorMode::OverActive);
+    for (int fa = 0; fa <= 4; ++fa) {
+        for (int sa = 0; sa <= 4 - fa; ++sa) {
+            const int lim = m.slowLimit(32, fa, sa);
+            EXPECT_LE(lim, 32);
+            EXPECT_GE(lim, 0);
+        }
+    }
+}
+
+TEST(SharingModel, MoreFastThreadsMeanLargerSlowShare)
+{
+    const SharingModel m(SharingFactorMode::OverActivePlus4);
+    // With SA fixed, growing FA grows the borrowed share relative to
+    // the plain split R/(FA+SA)*1.
+    for (int sa = 1; sa <= 3; ++sa) {
+        for (int fa = 1; fa <= 4 - sa; ++fa) {
+            const int with = m.slowLimit(80, fa, sa);
+            const double plain = 80.0 / (fa + sa);
+            EXPECT_GT(with, plain - 1) << fa << "," << sa;
+        }
+    }
+}
+
+TEST(SharingModelTable, MatchesFormulaEverywhere)
+{
+    for (const auto mode : {SharingFactorMode::OverActive,
+                            SharingFactorMode::OverActivePlus4,
+                            SharingFactorMode::Zero}) {
+        for (const int total : {32, 80, 160, 272}) {
+            const SharingModel m(mode);
+            const SharingModelTable t(mode, total, 4);
+            for (int fa = 0; fa <= 4; ++fa) {
+                for (int sa = 0; sa <= 4 - fa; ++sa) {
+                    EXPECT_EQ(t.slowLimit(fa, sa),
+                              m.slowLimit(total, fa, sa))
+                        << total << " " << fa << " " << sa;
+                }
+            }
+        }
+    }
+}
+
+TEST(SharingModelTable, PaperSizeIsTenEntries)
+{
+    // "For a 4-context processor, this table would have 10 entries."
+    const SharingModelTable t(SharingFactorMode::OverActive, 32, 4);
+    EXPECT_EQ(t.populatedEntries(), 10);
+}
+
+// ---------------- DCRA classification & gating ----------------
+
+class DcraHarness
+{
+  public:
+    explicit DcraHarness(int threads = 2)
+        : mem(MemParams{}, threads), tracker(threads)
+    {
+        cfg.numThreads = threads;
+        ctx.cfg = &cfg;
+        ctx.tracker = &tracker;
+        ctx.mem = &mem;
+    }
+
+    DcraPolicy
+    make(PolicyParams pp = PolicyParams{})
+    {
+        DcraPolicy p(pp);
+        p.bind(ctx);
+        return p;
+    }
+
+    /** Give thread t a pending L1D (memory-level) load miss. */
+    Cycle
+    makeSlow(ThreadID t, Cycle now)
+    {
+        const MemAccessResult r =
+            mem.dataAccess(t, 0x10000 + 0x100000 * t, true, now);
+        EXPECT_TRUE(r.accepted);
+        return r.ready;
+    }
+
+    SmtConfig cfg;
+    MemorySystem mem;
+    ResourceTracker tracker;
+    PolicyContext ctx;
+};
+
+TEST(Dcra, PhaseClassificationFollowsPendingL1Misses)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    p.beginCycle(1);
+    EXPECT_FALSE(p.isSlow(0));
+    EXPECT_FALSE(p.isSlow(1));
+
+    const Cycle ready = h.makeSlow(0, 1);
+    p.beginCycle(2);
+    EXPECT_TRUE(p.isSlow(0));
+    EXPECT_FALSE(p.isSlow(1));
+
+    h.mem.tick(ready);
+    p.beginCycle(ready + 1);
+    EXPECT_FALSE(p.isSlow(0));
+}
+
+TEST(Dcra, IntResourcesAlwaysActiveByDefault)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    p.beginCycle(100000);
+    EXPECT_TRUE(p.isActive(ResIqInt, 0));
+    EXPECT_TRUE(p.isActive(ResIqLs, 0));
+    EXPECT_TRUE(p.isActive(ResRegInt, 0));
+}
+
+TEST(Dcra, FpResourcesGoInactiveAfterThreshold)
+{
+    DcraHarness h;
+    PolicyParams pp;
+    pp.activityThreshold = 256;
+    DcraPolicy p = h.make(pp);
+
+    h.tracker.allocate(ResIqFp, 0, 10);
+    p.beginCycle(11);
+    EXPECT_TRUE(p.isActive(ResIqFp, 0));
+    p.beginCycle(10 + 256);
+    EXPECT_TRUE(p.isActive(ResIqFp, 0));
+    p.beginCycle(10 + 257);
+    EXPECT_FALSE(p.isActive(ResIqFp, 0));
+
+    // A new allocation reactivates (counter reset to Y).
+    h.tracker.allocate(ResIqFp, 0, 10 + 300);
+    p.beginCycle(10 + 301);
+    EXPECT_TRUE(p.isActive(ResIqFp, 0));
+}
+
+TEST(Dcra, SlowActiveThreadOverLimitIsGated)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+
+    h.makeSlow(0, 1);
+    // 2 threads, both int-active, thread 0 slow:
+    // E_slow(iq-int) = 80/2 * (1 + 1/6) = 46.67 -> 47
+    for (int i = 0; i < 48; ++i)
+        h.tracker.allocate(ResIqInt, 0, 2);
+    p.beginCycle(3);
+    EXPECT_EQ(p.slowLimit(ResIqInt), 47);
+    EXPECT_TRUE(p.isGated(0));
+    EXPECT_FALSE(p.fetchAllowed(0, 3));
+    EXPECT_TRUE(p.fetchAllowed(1, 3));
+}
+
+TEST(Dcra, SlowThreadAtLimitIsNotGated)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    h.makeSlow(0, 1);
+    for (int i = 0; i < 47; ++i)
+        h.tracker.allocate(ResIqInt, 0, 2);
+    p.beginCycle(3);
+    EXPECT_FALSE(p.isGated(0)) << "limit is inclusive";
+}
+
+TEST(Dcra, FastThreadsAreNeverGated)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    // Thread 0 fast but huge occupancy: DCRA leaves it alone.
+    for (int i = 0; i < 80; ++i)
+        h.tracker.allocate(ResIqInt, 0, 2);
+    p.beginCycle(3);
+    EXPECT_FALSE(p.isGated(0));
+}
+
+TEST(Dcra, GateClearsWhenOccupancyDrains)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    const Cycle ready = h.makeSlow(0, 1);
+    (void)ready;
+    for (int i = 0; i < 50; ++i)
+        h.tracker.allocate(ResIqInt, 0, 2);
+    p.beginCycle(3);
+    ASSERT_TRUE(p.isGated(0));
+    for (int i = 0; i < 4; ++i)
+        h.tracker.release(ResIqInt, 0);
+    p.beginCycle(4);
+    EXPECT_FALSE(p.isGated(0)) << "46 <= 47";
+}
+
+TEST(Dcra, AllThreadsStartActive)
+{
+    // The paper initialises activity counters to Y=256, so at reset
+    // every thread is considered active for every resource.
+    DcraHarness h(4);
+    DcraPolicy p = h.make();
+    p.beginCycle(3);
+    for (int r = 0; r < NumResourceTypes; ++r) {
+        for (ThreadID t = 0; t < 4; ++t)
+            EXPECT_TRUE(p.isActive(static_cast<ResourceType>(r), t));
+    }
+}
+
+TEST(Dcra, InactiveThreadsDonateTheirShare)
+{
+    DcraHarness h(4);
+    PolicyParams pp;
+    DcraPolicy p(pp);
+    p.bind(h.ctx);
+
+    // Let the int threads' initial fp-activity window (Y=256) expire,
+    // then make thread 3 fp-active and slow.
+    const Cycle now = 1000;
+    h.tracker.allocate(ResIqFp, 3, now - 2);
+    h.makeSlow(3, now - 1);
+    p.beginCycle(now);
+    ASSERT_TRUE(p.isSlow(3));
+    ASSERT_FALSE(p.isActive(ResIqFp, 0));
+    // For the fp IQ: threads 0..2 inactive, FA=0, SA=1 -> the slow
+    // fp thread may use the whole queue.
+    EXPECT_EQ(p.slowLimit(ResIqFp), 80);
+    // The int IQ still splits among all four (always active).
+    EXPECT_LT(p.slowLimit(ResIqInt), 40);
+}
+
+TEST(Dcra, LimitSharpensAsMoreThreadsCompete)
+{
+    DcraHarness h(4);
+    DcraPolicy p = h.make();
+    h.makeSlow(0, 1);
+    p.beginCycle(2);
+    const int limit1 = p.slowLimit(ResIqInt); // FA=3, SA=1
+    h.makeSlow(1, 2);
+    p.beginCycle(3);
+    const int limit2 = p.slowLimit(ResIqInt); // FA=2, SA=2
+    EXPECT_LT(limit2, limit1);
+}
+
+TEST(Dcra, LookupTableVariantBehavesIdentically)
+{
+    for (int threads : {2, 3, 4}) {
+        DcraHarness hf(threads);
+        DcraHarness ht(threads);
+        PolicyParams ppf;
+        PolicyParams ppt;
+        ppt.useLookupTable = true;
+        DcraPolicy pf(ppf);
+        pf.bind(hf.ctx);
+        DcraPolicy pt(ppt);
+        pt.bind(ht.ctx);
+
+        hf.makeSlow(0, 1);
+        ht.makeSlow(0, 1);
+        for (int i = 0; i < 30; ++i) {
+            hf.tracker.allocate(ResIqInt, 0, 1);
+            ht.tracker.allocate(ResIqInt, 0, 1);
+        }
+        pf.beginCycle(2);
+        pt.beginCycle(2);
+        for (int r = 0; r < NumResourceTypes; ++r) {
+            EXPECT_EQ(pf.slowLimit(static_cast<ResourceType>(r)),
+                      pt.slowLimit(static_cast<ResourceType>(r)))
+                << "resource " << r << ", " << threads << " threads";
+        }
+        EXPECT_EQ(pf.isGated(0), pt.isGated(0));
+    }
+}
+
+TEST(Dcra, RegisterLimitsUseRenamePool)
+{
+    DcraHarness h;
+    DcraPolicy p = h.make();
+    h.makeSlow(0, 1);
+    p.beginCycle(2);
+    // rename pool = 352 - 2*40 = 272; FA=1 SA=1 plus4:
+    // 272/2 * (1 + 1/6) = 158.67 -> 159
+    EXPECT_EQ(p.slowLimit(ResRegInt), 159);
+}
+
+// ---------------- end-to-end ----------------
+
+TEST(DcraEndToEnd, GatesMemThreadInMixedWorkload)
+{
+    SimConfig cfg;
+    cfg.seed = 17;
+    Simulator sim(cfg, {"eon", "mcf"}, PolicyKind::Dcra);
+    Pipeline &pipe = sim.pipeline();
+    auto &dcra = static_cast<DcraPolicy &>(sim.policy());
+
+    std::uint64_t gatedMcf = 0, gatedEon = 0, slowMcf = 0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+        pipe.tick();
+        if (dcra.isGated(1))
+            ++gatedMcf;
+        if (dcra.isGated(0))
+            ++gatedEon;
+        if (dcra.isSlow(1))
+            ++slowMcf;
+    }
+    EXPECT_GT(slowMcf, static_cast<std::uint64_t>(n / 4))
+        << "mcf should be in a slow phase much of the time";
+    EXPECT_GT(gatedMcf, 100u) << "mcf must hit its share limit";
+    EXPECT_GT(gatedMcf, gatedEon * 2)
+        << "the memory-bound thread is gated far more often";
+    // occupancy respects the limit most of the time (fetch gating is
+    // reactive, so allow transient overshoot from in-flight insts)
+    EXPECT_LE(pipe.tracker().occupancy(ResIqInt, 1), 80);
+}
+
+TEST(DcraEndToEnd, ImprovesMixOverIcount)
+{
+    SimConfig cfg;
+    cfg.seed = 23;
+    Simulator icount(cfg, {"gzip", "twolf"}, PolicyKind::Icount);
+    Simulator dcra(cfg, {"gzip", "twolf"}, PolicyKind::Dcra);
+    const SimResult ri = icount.run(60000, 8'000'000, 8000);
+    const SimResult rd = dcra.run(60000, 8'000'000, 8000);
+    // DCRA must win on throughput without starving either thread
+    // (the Hmean-level comparison is the fig4/fig5 benches' job).
+    EXPECT_GT(rd.throughput(), ri.throughput());
+    EXPECT_GT(rd.threads[0].ipc, ri.threads[0].ipc * 0.9);
+    EXPECT_GT(rd.threads[1].ipc, ri.threads[1].ipc * 0.9);
+}
+
+} // anonymous namespace
+
+// ---------------- DCRA-DEG (paper section 5.2 future work) -------
+
+#include "policy/dcra_deg.hh"
+
+namespace {
+using namespace smt;
+
+TEST(DcraDeg, FactoryRoundTrip)
+{
+    EXPECT_EQ(parsePolicyKind("DCRA-DEG"), PolicyKind::DcraDeg);
+    PolicyParams pp;
+    auto p = makePolicy(PolicyKind::DcraDeg, pp);
+    EXPECT_STREQ(p->name(), "DCRA-DEG");
+}
+
+TEST(DcraDeg, DegenerateThreadLosesBorrowingOnly)
+{
+    DcraHarness h;
+    PolicyParams pp;
+    pp.degWindowCycles = 100;
+    pp.degIpcFloor = 0.5;
+    DcraDegPolicy p(pp);
+    p.bind(h.ctx);
+
+    // Thread 0 slow the whole window with no commits: degenerate.
+    Cycle ready = h.makeSlow(0, 1);
+    for (Cycle c = 1; c <= 100; ++c) {
+        if (c >= ready)
+            ready = h.makeSlow(0, c); // keep the miss pending
+        p.beginCycle(c);
+    }
+    p.beginCycle(101); // window rolls over
+    EXPECT_TRUE(p.isDegenerate(0));
+    EXPECT_FALSE(p.isDegenerate(1));
+
+    // Equal share still allowed (not gated below it)...
+    for (int i = 0; i < 30; ++i)
+        h.tracker.allocate(ResIqInt, 0, 102);
+    p.beginCycle(103);
+    EXPECT_FALSE(p.isGated(0)) << "30 <= equal share 40";
+    // ...but the borrowed region (41..47) now gates.
+    for (int i = 0; i < 12; ++i)
+        h.tracker.allocate(ResIqInt, 0, 103);
+    p.beginCycle(104);
+    EXPECT_TRUE(p.isGated(0)) << "42 > equal share 40";
+}
+
+TEST(DcraDeg, ProgressRehabilitates)
+{
+    DcraHarness h;
+    PolicyParams pp;
+    pp.degWindowCycles = 100;
+    pp.degIpcFloor = 0.5;
+    DcraDegPolicy p(pp);
+    p.bind(h.ctx);
+
+    Cycle ready = h.makeSlow(0, 1);
+    for (Cycle c = 1; c <= 100; ++c) {
+        if (c >= ready)
+            ready = h.makeSlow(0, c);
+        p.beginCycle(c);
+    }
+    p.beginCycle(101);
+    ASSERT_TRUE(p.isDegenerate(0));
+
+    // A productive window (commits above the floor) clears the flag.
+    for (Cycle c = 102; c <= 201; ++c) {
+        h.tracker.commitInc(0);
+        p.beginCycle(c);
+    }
+    p.beginCycle(202);
+    EXPECT_FALSE(p.isDegenerate(0));
+}
+
+TEST(DcraDeg, EndToEndRunsAndKeepsThroughput)
+{
+    SimConfig cfg;
+    cfg.seed = 29;
+    Simulator dcra(cfg, {"eon", "mcf"}, PolicyKind::Dcra);
+    Simulator deg(cfg, {"eon", "mcf"}, PolicyKind::DcraDeg);
+    const SimResult rd = dcra.run(20000, 4'000'000, 4000);
+    const SimResult rg = deg.run(20000, 4'000'000, 4000);
+    EXPECT_GT(rg.throughput(), rd.throughput() * 0.9);
+    EXPECT_GT(rg.threads[1].committed, 200u)
+        << "the degenerate thread keeps its equal share";
+}
+
+TEST(SimulatorCustomPolicy, AcceptsUserPolicy)
+{
+    // Minimal user-defined policy via the public constructor.
+    class AlwaysAllow : public Policy
+    {
+      public:
+        const char *name() const override { return "user"; }
+    };
+    SimConfig cfg;
+    cfg.seed = 31;
+    Simulator sim(cfg, {"gzip"},
+                  std::make_unique<AlwaysAllow>());
+    const SimResult r = sim.run(3000, 1'000'000);
+    EXPECT_GE(r.threads[0].committed, 3000u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * smtsim: command-line driver for the simulator. Runs an arbitrary
+ * workload under any policy with the paper's baseline configuration
+ * (overridable) and prints a full per-thread report.
+ *
+ * Examples:
+ *   smtsim --workload gzip,mcf --policy DCRA
+ *   smtsim --workload mcf,twolf,vpr,parser --policy FLUSH++ \
+ *          --mem-latency 500 --l2-latency 25 --commits 200000
+ *   smtsim --list-benchmarks
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "sim/workload.hh"
+#include "trace/bench_profile.hh"
+
+namespace {
+
+using namespace smt;
+
+void
+usage()
+{
+    std::printf(
+        "usage: smtsim [options]\n"
+        "  --workload a,b,c     comma-separated benchmarks (1-%d)\n"
+        "  --policy NAME        ROUND-ROBIN ICOUNT STALL FLUSH\n"
+        "                       FLUSH++ DG PDG SRA DCRA DCRA-DEG\n"
+        "  --commits N          first-thread commit budget\n"
+        "  --warmup N           warmup commits before measuring\n"
+        "  --mem-latency N      main memory latency (cycles)\n"
+        "  --l2-latency N       L2 access latency (cycles)\n"
+        "  --regs N             physical registers per file\n"
+        "  --iq N               entries per issue queue\n"
+        "  --seed N             workload generation seed\n"
+        "  --perfect-dcache     all data accesses hit L1\n"
+        "  --list-benchmarks    show available benchmarks\n"
+        "  --list-workloads     show the paper's Table 4 workloads\n",
+        maxThreads);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workload = {"gzip", "twolf"};
+    PolicyKind policy = PolicyKind::Dcra;
+    std::uint64_t commits = 100'000;
+    std::uint64_t warmup = 10'000;
+    SimConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = splitCommas(next());
+        } else if (arg == "--policy") {
+            policy = parsePolicyKind(next());
+        } else if (arg == "--commits") {
+            commits = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--mem-latency") {
+            cfg.mem.memLatency = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--l2-latency") {
+            cfg.mem.l2Latency = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--regs") {
+            cfg.core.physRegsPerFile =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+        } else if (arg == "--iq") {
+            const int n =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            for (int q = 0; q < numQueueClasses; ++q)
+                cfg.core.iqSize[q] = n;
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--perfect-dcache") {
+            cfg.mem.perfectDcache = true;
+        } else if (arg == "--list-benchmarks") {
+            for (const auto &b : allBenchNames()) {
+                const BenchProfile &p = benchProfile(b);
+                std::printf("%-8s %s  %s  (paper L2 miss %.1f%%)\n",
+                            b.c_str(), p.isFp ? "FP " : "INT",
+                            isMemBench(b) ? "MEM" : "ILP",
+                            p.paperL2MissRate);
+            }
+            return 0;
+        } else if (arg == "--list-workloads") {
+            for (const Workload &w : allWorkloads()) {
+                std::printf("%-8s", w.id.c_str());
+                for (const auto &b : w.benches)
+                    std::printf(" %s", b.c_str());
+                std::printf("\n");
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    Simulator sim(cfg, workload, policy);
+    const SimResult r = sim.run(commits, 100'000'000, warmup);
+
+    std::printf("policy=%s cycles=%llu throughput=%.3f mlp=%.2f\n",
+                policyKindName(policy),
+                static_cast<unsigned long long>(r.cycles),
+                r.throughput(), r.mlpBusyMean);
+    std::printf("%-8s %10s %7s %9s %9s %8s %8s %8s %8s\n", "thread",
+                "commits", "IPC", "fetched", "squashed", "misp%",
+                "L1D%", "L2%", "flushes");
+    for (const ThreadResult &t : r.threads) {
+        const double mispPct = t.condBranches
+            ? 100.0 * static_cast<double>(t.mispredicts) /
+                static_cast<double>(t.condBranches)
+            : 0.0;
+        const double l1Pct = t.l1dAccesses
+            ? 100.0 * static_cast<double>(t.l1dMisses) /
+                static_cast<double>(t.l1dAccesses)
+            : 0.0;
+        std::printf("%-8s %10llu %7.3f %9llu %9llu %7.2f%% %7.2f%% "
+                    "%7.2f%% %8llu\n",
+                    t.bench.c_str(),
+                    static_cast<unsigned long long>(t.committed),
+                    t.ipc,
+                    static_cast<unsigned long long>(t.fetched),
+                    static_cast<unsigned long long>(t.squashed),
+                    mispPct, l1Pct, t.l2MissRatePct(),
+                    static_cast<unsigned long long>(t.flushes));
+    }
+    std::printf("phase mix (cycles with n slow threads):");
+    for (std::size_t n = 0; n < r.slowPhaseCycles.size(); ++n) {
+        std::printf(" %zu-slow=%.1f%%", n,
+                    100.0 *
+                        static_cast<double>(r.slowPhaseCycles[n]) /
+                        static_cast<double>(r.cycles));
+    }
+    std::printf("\n");
+    return 0;
+}
