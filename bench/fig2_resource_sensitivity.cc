@@ -12,7 +12,10 @@
  * 37.5% of resources, falling off below 25%.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hh"

@@ -11,6 +11,9 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "sim/metrics.hh"

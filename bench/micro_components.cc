@@ -7,6 +7,8 @@
  */
 
 #include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "bpred/gshare.hh"
 #include "mem/cache.hh"

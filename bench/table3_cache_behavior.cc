@@ -9,6 +9,9 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "sim/simulator.hh"

@@ -1,5 +1,7 @@
 #include "bpred/gshare.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace smt {

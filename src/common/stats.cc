@@ -1,8 +1,12 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

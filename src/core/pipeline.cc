@@ -1,6 +1,9 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

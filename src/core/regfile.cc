@@ -1,5 +1,7 @@
 #include "core/regfile.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace smt {

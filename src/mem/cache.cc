@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace smt {

@@ -1,6 +1,7 @@
 #include "mem/memory_system.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.hh"
 

@@ -21,6 +21,8 @@
 
 #include "policy/dcra.hh"
 
+#include <cstdint>
+
 namespace smt {
 
 /** DCRA with mcf-style degenerate threads denied borrowing. */

@@ -1,5 +1,8 @@
 #include "policy/factory.hh"
 
+#include <memory>
+#include <string>
+
 #include "common/logging.hh"
 #include "policy/dcra.hh"
 #include "policy/dcra_deg.hh"

@@ -10,6 +10,7 @@
 #ifndef DCRA_SMT_POLICY_FLUSH_HH
 #define DCRA_SMT_POLICY_FLUSH_HH
 
+#include <cstdint>
 #include <deque>
 
 #include "policy/policy.hh"

@@ -10,6 +10,8 @@
 #define DCRA_SMT_POLICY_FLUSHPP_HH
 
 #include "policy/flush.hh"
+
+#include <cstdint>
 #include "policy/policy_params.hh"
 
 namespace smt {

@@ -1,5 +1,7 @@
 #include "policy/pdg.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace smt {

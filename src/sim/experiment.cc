@@ -1,5 +1,8 @@
 #include "sim/experiment.hh"
 
+#include <cstdint>
+#include <string>
+
 #include "common/logging.hh"
 #include "sim/metrics.hh"
 

@@ -1,5 +1,7 @@
 #include "sim/metrics.hh"
 
+#include <vector>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
 

@@ -1,6 +1,11 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "trace/bench_profile.hh"

@@ -1,5 +1,9 @@
 #include "sim/workload.hh"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace smt {

@@ -1,6 +1,8 @@
 #include "trace/bench_profile.hh"
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 

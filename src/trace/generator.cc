@@ -1,6 +1,8 @@
 #include "trace/generator.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "common/logging.hh"
 

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * gtest_main replacement for the vendored shim (see gtest/gtest.h in
+ * this directory): parse --gtest_* flags and run every registered
+ * test.
+ */
+
+#include <gtest/gtest.h>
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

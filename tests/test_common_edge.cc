@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Edge-case coverage for the common substrate, complementing
+ * test_common.cc: Rng::below at extreme bounds, statistics objects
+ * with zero samples, and the sharing model's rounding behaviour at
+ * the boundaries of its domain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "policy/sharing_model.hh"
+
+namespace {
+
+using namespace smt;
+
+// ---------------- Rng::below bound handling ----------------
+
+TEST(RngEdge, BelowOneAlwaysZero)
+{
+    Rng r(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngEdge, BelowPowerOfTwoBoundsStayInRange)
+{
+    Rng r(43);
+    for (int shift = 1; shift < 64; ++shift) {
+        const std::uint64_t bound = 1ull << shift;
+        for (int i = 0; i < 50; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(RngEdge, BelowMaxBoundDoesNotHang)
+{
+    // bound = 2^64 - 1 makes Lemire's rejection threshold largest;
+    // the call must still terminate and stay in range.
+    Rng r(44);
+    const std::uint64_t bound =
+        std::numeric_limits<std::uint64_t>::max();
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(r.below(bound), bound);
+}
+
+TEST(RngEdge, BelowSmallBoundIsUnbiased)
+{
+    // With Lemire rejection the three cells of bound=3 must come out
+    // statistically even; a modulo-biased implementation would not.
+    Rng r(45);
+    std::uint64_t cells[3] = {};
+    const int n = 90'000;
+    for (int i = 0; i < n; ++i)
+        ++cells[r.below(3)];
+    for (const std::uint64_t c : cells) {
+        EXPECT_GT(c, n / 3 - n / 30);
+        EXPECT_LT(c, n / 3 + n / 30);
+    }
+}
+
+TEST(RngEdge, BetweenDegenerateAndFullRange)
+{
+    Rng r(46);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.between(7, 7), 7);
+    for (int i = 0; i < 200; ++i) {
+        const std::int64_t v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(RngEdge, GeometricClampsAtDegenerateProbabilities)
+{
+    Rng r(47);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+    EXPECT_EQ(r.geometric(2.0), 0u);
+    EXPECT_EQ(r.geometric(0.0), 64u);
+    EXPECT_EQ(r.geometric(-1.0), 64u);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LE(r.geometric(0.001), 64u);
+}
+
+// ---------------- statistics with zero samples ----------------
+
+TEST(StatsEdge, RunningMeanEmptyIsZero)
+{
+    RunningMean m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(StatsEdge, RunningMeanResetForgetsEverything)
+{
+    RunningMean m;
+    m.sample(2.0);
+    m.sample(4.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(StatsEdge, HistogramEmptyMeansAreZero)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.meanNonZero(), 0.0);
+    for (std::size_t i = 0; i < h.size(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(StatsEdge, HistogramOnlyZeroSamplesHasZeroNonZeroMean)
+{
+    Histogram h(4);
+    for (int i = 0; i < 10; ++i)
+        h.sample(0);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    // No sample >= 1, so the busy-only mean must stay 0, not NaN.
+    EXPECT_DOUBLE_EQ(h.meanNonZero(), 0.0);
+}
+
+TEST(StatsEdge, HistogramClampsOverflowIntoLastBucket)
+{
+    Histogram h(4);
+    h.sample(17);
+    h.sample(1'000'000);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(StatsEdge, HistogramResetRestoresEmptyState)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (std::size_t i = 0; i < h.size(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(StatsEdge, HarmonicMeanDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({0.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({-1.0, 2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(StatsEdge, TextTableEmptyAndRaggedRows)
+{
+    TextTable empty;
+    EXPECT_STREQ(empty.str().c_str(), "");
+
+    TextTable ragged;
+    ragged.row({"a", "bb", "ccc"});
+    ragged.row({"dddd"});
+    const std::string out = ragged.str();
+    EXPECT_NE(out.find("dddd"), std::string::npos);
+    EXPECT_NE(out.find("ccc"), std::string::npos);
+}
+
+// ---------------- sharing-model rounding ----------------
+
+TEST(SharingModelEdge, UnconstrainedCasesReturnTotal)
+{
+    const SharingModel m(SharingFactorMode::OverActivePlus4);
+    // No slow threads, or no active threads at all: unconstrained.
+    EXPECT_EQ(m.slowLimit(80, 0, 0), 80);
+    EXPECT_EQ(m.slowLimit(80, 4, 0), 80);
+    EXPECT_EQ(m.slowLimit(0, 2, 2), 0);
+}
+
+TEST(SharingModelEdge, SingleSlowThreadAloneGetsEverything)
+{
+    // One slow thread, nobody else active: E_slow = R * (1 + C*0)
+    // = R; the rounded limit must clamp at exactly total.
+    for (const auto mode :
+         {SharingFactorMode::OverActive,
+          SharingFactorMode::OverActivePlus4, SharingFactorMode::Zero}) {
+        const SharingModel m(mode);
+        EXPECT_EQ(m.slowLimit(80, 0, 1), 80);
+    }
+}
+
+TEST(SharingModelEdge, RoundingIsNearestNotTruncation)
+{
+    // R=100, FA=1, SA=2 under C=1/(FA+SA): E_slow =
+    // 100/3 * (1 + 1/3) = 44.44 -> 44 (nearest, not 44.4 truncated
+    // differently) and never reconstructible by floor of 44.9 cases.
+    const SharingModel m(SharingFactorMode::OverActive);
+    const double eSlow = (100.0 / 3.0) * (1.0 + 1.0 / 3.0);
+    EXPECT_EQ(m.slowLimit(100, 1, 2),
+              static_cast<int>(std::llround(eSlow)));
+
+    // A case engineered to land on a .5 boundary: R=9, FA=1, SA=1,
+    // C=1/2 -> E_slow = 4.5 * 1.5 = 6.75 -> 7.
+    EXPECT_EQ(m.slowLimit(9, 1, 1), 7);
+}
+
+TEST(SharingModelEdge, LimitNeverExceedsTotalAfterRounding)
+{
+    // Small totals exercise the clamp: with few entries and many
+    // lenders the unrounded E_slow can exceed R.
+    for (const auto mode :
+         {SharingFactorMode::OverActive,
+          SharingFactorMode::OverActivePlus4}) {
+        const SharingModel m(mode);
+        for (int total = 1; total <= 16; ++total) {
+            for (int fa = 0; fa <= maxThreads; ++fa) {
+                for (int sa = 1; sa + fa <= maxThreads; ++sa) {
+                    const int lim = m.slowLimit(total, fa, sa);
+                    EXPECT_LE(lim, total)
+                        << "R=" << total << " fa=" << fa
+                        << " sa=" << sa;
+                    EXPECT_GE(lim, 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(SharingModelEdge, TinyTableStillMatchesFormula)
+{
+    const SharingModelTable table(SharingFactorMode::OverActive, 1, 2);
+    const SharingModel m(SharingFactorMode::OverActive);
+    for (int fa = 0; fa <= 2; ++fa)
+        for (int sa = 0; sa + fa <= 2; ++sa)
+            EXPECT_EQ(table.slowLimit(fa, sa),
+                      m.slowLimit(1, fa, sa));
+    // Paper: 8 populated (SA >= 1) entries for maxActive = 4 is 10;
+    // for maxActive = 2 it is 3.
+    EXPECT_EQ(table.populatedEntries(), 3);
+}
+
+} // anonymous namespace

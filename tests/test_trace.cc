@@ -161,8 +161,9 @@ TEST(Generator, IntBenchNeverUsesFpOps)
     SyntheticTraceGenerator g(benchProfile("gzip"), 5);
     for (const TraceInst &ti : take(g, 20000)) {
         EXPECT_FALSE(isFpOp(ti.op));
-        if (ti.dst != invalidArchReg)
+        if (ti.dst != invalidArchReg) {
             EXPECT_FALSE(isFpReg(ti.dst));
+        }
     }
 }
 

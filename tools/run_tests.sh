@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Convenience wrapper around the tier-1 verify loop:
+#   configure + build + ctest, in one command.
+#
+# Usage:
+#   tools/run_tests.sh                 # Release, auto-detected gtest
+#   tools/run_tests.sh --debug         # Debug build
+#   tools/run_tests.sh --shim          # force the vendored gtest shim
+#   tools/run_tests.sh --werror        # -Werror
+#   tools/run_tests.sh -- <ctest args> # extra args after -- go to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_type=Release
+shim=OFF
+werror=OFF
+ctest_args=()
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --debug) build_type=Debug ;;
+      --release) build_type=Release ;;
+      --shim) shim=ON ;;
+      --werror) werror=ON ;;
+      --) shift; ctest_args=("$@"); break ;;
+      *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+build_dir="$repo_root/build-$(echo "$build_type" | tr '[:upper:]' '[:lower:]')"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+[[ "$shim" == ON ]] && build_dir="$build_dir-shim"
+
+cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE="$build_type" \
+    -DSMT_FORCE_GTEST_SHIM="$shim" \
+    -DSMT_WERROR="$werror"
+cmake --build "$build_dir" -j "$jobs"
+# ${arr[@]+...} guard: empty-array expansion under `set -u` is an
+# error on bash < 4.4 (macOS ships 3.2).
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+    ${ctest_args[@]+"${ctest_args[@]}"}

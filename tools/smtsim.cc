@@ -11,6 +11,8 @@
  *   smtsim --list-benchmarks
  */
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,8 +45,50 @@ usage()
         "  --seed N             workload generation seed\n"
         "  --perfect-dcache     all data accesses hit L1\n"
         "  --list-benchmarks    show available benchmarks\n"
-        "  --list-workloads     show the paper's Table 4 workloads\n",
+        "  --list-workloads     show the paper's Table 4 workloads\n"
+        "  --selftest           10k-cycle 2-thread DCRA smoke run;\n"
+        "                       exits nonzero on NaN or zero IPC\n",
         maxThreads);
+}
+
+/**
+ * Smoke mode wired into CTest: run a short 2-thread DCRA simulation
+ * and sanity-check the results. Returns the process exit code.
+ */
+int
+selftest()
+{
+    SimConfig cfg;
+    cfg.seed = 0x5e1f;
+    Simulator sim(cfg, {"gzip", "mcf"}, PolicyKind::Dcra);
+    Pipeline &pipe = sim.pipeline();
+    for (int i = 0; i < 10'000; ++i)
+        pipe.tick();
+    pipe.auditInvariants();
+
+    const PipelineStats &ps = pipe.stats();
+    bool ok = true;
+    double throughput = 0.0;
+    for (ThreadID t = 0; t < 2; ++t) {
+        const double ipc = ps.ipc(t);
+        if (std::isnan(ipc) || ipc <= 0.0) {
+            std::fprintf(stderr,
+                         "selftest: thread %d IPC %.4f is NaN/zero\n",
+                         t, ipc);
+            ok = false;
+        }
+        throughput += ipc;
+    }
+    if (ps.cycles != 10'000) {
+        std::fprintf(stderr, "selftest: expected 10000 cycles, got "
+                     "%llu\n",
+                     static_cast<unsigned long long>(ps.cycles));
+        ok = false;
+    }
+    std::printf("selftest: %s (throughput %.3f over %llu cycles)\n",
+                ok ? "PASS" : "FAIL", throughput,
+                static_cast<unsigned long long>(ps.cycles));
+    return ok ? 0 : 1;
 }
 
 std::vector<std::string>
@@ -123,6 +167,8 @@ main(int argc, char **argv)
                 std::printf("\n");
             }
             return 0;
+        } else if (arg == "--selftest") {
+            return selftest();
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
