@@ -3,11 +3,13 @@
  * Shared plumbing for the experiment binaries: run-length scaling,
  * paper-style table printing and the standard policy sets.
  *
- * Every binary honours two environment variables:
+ * Every binary honours three environment variables:
  *   SMT_BENCH_COMMITS  per-run first-thread commit budget
  *                      (default 60000)
  *   SMT_BENCH_WARMUP   warmup commits before measuring
  *                      (default 10000)
+ *   SMT_BENCH_JOBS     sweep-runner worker threads
+ *                      (default 0 = one per host core)
  */
 
 #ifndef DCRA_SMT_BENCH_BENCH_UTIL_HH
@@ -39,6 +41,15 @@ warmupBudget()
     if (const char *s = std::getenv("SMT_BENCH_WARMUP"))
         return std::strtoull(s, nullptr, 10);
     return 10'000;
+}
+
+/** Sweep-runner workers (SMT_BENCH_JOBS; 0 = all host cores). */
+inline int
+benchJobs()
+{
+    if (const char *s = std::getenv("SMT_BENCH_JOBS"))
+        return static_cast<int>(std::strtol(s, nullptr, 10));
+    return 0;
 }
 
 /** Print a named section header. */

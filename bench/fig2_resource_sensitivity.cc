@@ -8,6 +8,10 @@
  * wording; here physRegsPerFile=200 gives a 160-entry rename pool
  * for one thread).
  *
+ * Each resource series is one declarative sweep (its benchmarks x
+ * ICOUNT x 8 cap fractions) executed in parallel by the runner
+ * subsystem.
+ *
  * Shape target: flat near 100% on the right, ~90% of full speed at
  * 37.5% of resources, falling off below 25%.
  */
@@ -19,8 +23,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "sim/simulator.hh"
-#include "trace/bench_profile.hh"
+#include "runner/runner.hh"
 
 namespace {
 
@@ -36,6 +39,10 @@ const std::vector<std::string> fpBenches = {
     "apsi", "wupwise", "mesa", "fma3d",
 };
 
+const double fracs[] = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75,
+                        0.875, 1.0};
+constexpr int nFracs = 8;
+
 SimConfig
 fig2Config()
 {
@@ -48,19 +55,40 @@ fig2Config()
     return cfg;
 }
 
-double
-ipcWithCap(const std::string &bench, ResourceType res, double frac)
+/**
+ * One series: its benchmarks under ICOUNT with the series' resource
+ * capped at each fraction. Returns the mean IPC per fraction.
+ */
+std::vector<double>
+runSeries(ResourceType res, const std::vector<std::string> &benches)
 {
-    SimConfig cfg = fig2Config();
-    if (frac < 1.0) {
-        const int total = cfg.core.resourceTotal(res);
-        cfg.core.resourceCap[res] =
-            std::max(1, static_cast<int>(total * frac));
+    SweepSpec spec;
+    spec.name = std::string("fig2-") + resourceName(res);
+    spec.base = fig2Config();
+    spec.commits = commitBudget() / 2;
+    spec.warmup = warmupBudget() / 2;
+    spec.computeHmean = false;
+    for (const std::string &b : benches)
+        spec.workloads.push_back(singleBenchWorkload(b));
+    spec.policies = {PolicyKind::Icount};
+    for (const double f : fracs) {
+        ConfigOverride o;
+        o.label = TextTable::fmt(100.0 * f, 1) + "%";
+        o.caps.push_back({res, f});
+        spec.configs.push_back(std::move(o));
     }
-    Simulator sim(cfg, {bench}, PolicyKind::Icount);
-    return sim.run(commitBudget() / 2, 50'000'000,
-                   warmupBudget() / 2)
-        .threads[0].ipc;
+
+    SweepRunner runner(std::move(spec), benchJobs());
+    const SweepResults results = runner.run();
+
+    std::vector<double> meanIpc(nFracs, 0.0);
+    for (int fi = 0; fi < nFracs; ++fi) {
+        for (std::size_t w = 0; w < benches.size(); ++w)
+            meanIpc[fi] +=
+                results.at(fi, 0, w).summary.raw.threads[0].ipc;
+        meanIpc[fi] /= static_cast<double>(benches.size());
+    }
+    return meanIpc;
 }
 
 } // anonymous namespace
@@ -71,8 +99,6 @@ main()
     banner("Figure 2", "IPC vs fraction of one resource granted "
            "(single thread, perfect L1D)");
 
-    const double fracs[] = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75,
-                            0.875, 1.0};
     struct Series
     {
         const char *name;
@@ -95,26 +121,19 @@ main()
         out.header(std::move(hdr));
     }
 
-    // full-speed baselines per series
-    double fullSpeed[5] = {};
-    for (int si = 0; si < 5; ++si) {
-        for (const auto &b : *series[si].benches)
-            fullSpeed[si] += ipcWithCap(b, series[si].res, 1.0);
-        fullSpeed[si] /= static_cast<double>(
-            series[si].benches->size());
-    }
+    std::vector<double> meanIpc[5];
+    for (int si = 0; si < 5; ++si)
+        meanIpc[si] = runSeries(series[si].res, *series[si].benches);
 
+    // full-speed baseline per series: the uncapped (100%) point
     double at375[5] = {};
-    for (const double f : fracs) {
+    for (int fi = 0; fi < nFracs; ++fi) {
         std::vector<std::string> row = {
-            TextTable::fmt(100.0 * f, 1)};
+            TextTable::fmt(100.0 * fracs[fi], 1)};
         for (int si = 0; si < 5; ++si) {
-            double ipc = 0.0;
-            for (const auto &b : *series[si].benches)
-                ipc += ipcWithCap(b, series[si].res, f);
-            ipc /= static_cast<double>(series[si].benches->size());
-            const double rel = ipc / fullSpeed[si];
-            if (f == 0.375)
+            const double rel =
+                meanIpc[si][fi] / meanIpc[si][nFracs - 1];
+            if (fracs[fi] == 0.375)
                 at375[si] = rel;
             row.push_back(TextTable::fmt(rel, 3));
         }

@@ -2,7 +2,8 @@
  * @file
  * Experiment F4 -- paper Figure 4: throughput and Hmean improvement
  * of DCRA over static resource allocation (SRA), per workload cell
- * and on average.
+ * and on average. One declarative sweep (36 workloads x 2 policies)
+ * executed in parallel by the runner subsystem.
  *
  * Shape targets: DCRA above SRA for (nearly) all cells, the largest
  * gains on MIX workloads, averages in the high single digits
@@ -10,8 +11,10 @@
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.hh"
+#include "runner/runner.hh"
 #include "sim/metrics.hh"
 
 int
@@ -22,8 +25,15 @@ main()
 
     banner("Figure 4", "DCRA vs static resource allocation");
 
-    SimConfig cfg;
-    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
+    SweepSpec spec;
+    spec.name = "fig4";
+    spec.commits = commitBudget();
+    spec.warmup = warmupBudget();
+    spec.workloads = allWorkloads();
+    spec.policies = {PolicyKind::Sra, PolicyKind::Dcra};
+
+    SweepRunner runner(std::move(spec), benchJobs());
+    const SweepResults results = runner.run();
 
     TextTable out;
     out.header({"cell", "SRA thr", "DCRA thr", "thr +%", "SRA hmean",
@@ -35,11 +45,11 @@ main()
     int mixCells = 0;
 
     for (int i = 0; i < nCells; ++i) {
-        const auto sra =
-            ctx.runCell(cells[i].threads, cells[i].type,
+        const CellAverage sra =
+            cellAverage(results, cells[i].threads, cells[i].type,
                         PolicyKind::Sra);
-        const auto dcra =
-            ctx.runCell(cells[i].threads, cells[i].type,
+        const CellAverage dcra =
+            cellAverage(results, cells[i].threads, cells[i].type,
                         PolicyKind::Dcra);
         const double tg =
             improvementPct(dcra.throughput, sra.throughput);

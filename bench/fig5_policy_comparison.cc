@@ -2,7 +2,9 @@
  * @file
  * Experiment F5 -- paper Figure 5: (a) raw IPC throughput of ICOUNT,
  * DG, FLUSH++ and DCRA per workload cell; (b) Hmean improvement of
- * DCRA over each.
+ * DCRA over each. One declarative sweep (36 workloads x 4 policies)
+ * executed in parallel by the runner subsystem; SMT_BENCH_JOBS
+ * bounds the worker threads.
  *
  * Shape targets: DCRA achieves the best or near-best throughput
  * everywhere except possibly FLUSH++ on MEM cells; Hmean
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "runner/runner.hh"
 #include "sim/metrics.hh"
 
 int
@@ -26,23 +29,27 @@ main()
 
     banner("Figure 5", "DCRA vs resource-conscious fetch policies");
 
-    SimConfig cfg;
-    ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
-
-    const PolicyKind kinds[] = {PolicyKind::Icount,
-                                PolicyKind::DataGating,
-                                PolicyKind::FlushPp,
-                                PolicyKind::Dcra};
+    SweepSpec spec;
+    spec.name = "fig5";
+    spec.commits = commitBudget();
+    spec.warmup = warmupBudget();
+    spec.workloads = allWorkloads();
+    spec.policies = {PolicyKind::Icount, PolicyKind::DataGating,
+                     PolicyKind::FlushPp, PolicyKind::Dcra};
     const int nKinds = 4;
+
+    SweepRunner runner(std::move(spec), benchJobs());
+    const SweepResults results = runner.run();
 
     int nCells = 0;
     const Cell *cells = allCells(nCells);
 
-    ExperimentContext::CellAverage res[9][4];
+    CellAverage res[9][4];
     for (int i = 0; i < nCells; ++i) {
         for (int k = 0; k < nKinds; ++k) {
-            res[i][k] = ctx.runCell(cells[i].threads, cells[i].type,
-                                    kinds[k]);
+            res[i][k] = cellAverage(results, cells[i].threads,
+                                    cells[i].type,
+                                    results.spec.policies[k]);
         }
     }
 

@@ -2,7 +2,10 @@
  * @file
  * Experiment F6 -- paper Figure 6: average Hmean improvement of DCRA
  * over ICOUNT, FLUSH++, DG and SRA as the physical register file
- * grows from 320 to 384 entries.
+ * grows from 320 to 384 entries. One declarative sweep (12 two-
+ * thread workloads x 5 policies x 3 register sizes) executed in
+ * parallel by the runner subsystem; the BaselineCache shares each
+ * (benchmark, register size) baseline across all five policies.
  *
  * Shape targets: the advantage over SRA and ICOUNT shrinks with more
  * registers (starvation risk falls), while the advantage over DG
@@ -13,8 +16,10 @@
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.hh"
+#include "runner/runner.hh"
 #include "sim/metrics.hh"
 
 int
@@ -32,25 +37,45 @@ main()
                                  PolicyKind::DataGating,
                                  PolicyKind::Sra};
     const char *otherNames[] = {"ICOUNT", "FLUSH++", "DG", "SRA"};
+    const WorkloadType types[] = {WorkloadType::ILP,
+                                  WorkloadType::MIX,
+                                  WorkloadType::MEM};
+
+    SweepSpec spec;
+    spec.name = "fig6";
+    spec.commits = commitBudget();
+    spec.warmup = warmupBudget();
+    for (const WorkloadType ty : types) {
+        const auto cell = workloadsOf(2, ty);
+        spec.workloads.insert(spec.workloads.end(), cell.begin(),
+                              cell.end());
+    }
+    spec.policies = {PolicyKind::Dcra, PolicyKind::Icount,
+                     PolicyKind::FlushPp, PolicyKind::DataGating,
+                     PolicyKind::Sra};
+    for (const int regs : regSizes) {
+        ConfigOverride o;
+        o.label = std::to_string(regs) + " regs";
+        o.physRegsPerFile = regs;
+        spec.configs.push_back(std::move(o));
+    }
+
+    SweepRunner runner(std::move(spec), benchJobs());
+    const SweepResults results = runner.run();
 
     TextTable out;
     out.header({"policy", "320 regs", "352 regs", "384 regs"});
     double imp[4][3];
 
     for (int ri = 0; ri < 3; ++ri) {
-        SimConfig cfg;
-        cfg.core.physRegsPerFile = regSizes[ri];
-        ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
-
         double dcra = 0.0;
         double other[4] = {};
-        const WorkloadType types[] = {WorkloadType::ILP,
-                                      WorkloadType::MIX,
-                                      WorkloadType::MEM};
-        for (const auto ty : types) {
-            dcra += ctx.runCell(2, ty, PolicyKind::Dcra).hmean;
+        for (const WorkloadType ty : types) {
+            dcra += cellAverage(results, 2, ty, PolicyKind::Dcra,
+                                ri).hmean;
             for (int k = 0; k < 4; ++k)
-                other[k] += ctx.runCell(2, ty, others[k]).hmean;
+                other[k] +=
+                    cellAverage(results, 2, ty, others[k], ri).hmean;
         }
         for (int k = 0; k < 4; ++k)
             imp[k][ri] = improvementPct(dcra, other[k]);

@@ -5,7 +5,9 @@
  * through (100,10), (300,20), (500,25) cycles. DCRA's sharing factor
  * follows the paper's per-latency tuning: C=1/T at 100 cycles,
  * C=1/(T+4) at 300, and C=0 for the IQs with C=1/(T+4) for the
- * registers at 500.
+ * registers at 500. One declarative sweep (12 two-thread workloads x
+ * 5 policies x 3 latency points) executed in parallel by the runner
+ * subsystem.
  *
  * Shape targets: the advantage over ICOUNT and DG grows with
  * latency; the advantage over FLUSH++ shrinks; SRA roughly flat.
@@ -13,8 +15,10 @@
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "bench/bench_util.hh"
+#include "runner/runner.hh"
 #include "sim/metrics.hh"
 
 int
@@ -45,25 +49,45 @@ main()
                                  PolicyKind::DataGating,
                                  PolicyKind::Sra};
     const char *otherNames[] = {"ICOUNT", "FLUSH++", "DG", "SRA"};
+    const WorkloadType types[] = {WorkloadType::ILP,
+                                  WorkloadType::MIX,
+                                  WorkloadType::MEM};
+
+    SweepSpec spec;
+    spec.name = "fig7";
+    spec.commits = commitBudget();
+    spec.warmup = warmupBudget();
+    for (const WorkloadType ty : types) {
+        const auto cell = workloadsOf(2, ty);
+        spec.workloads.insert(spec.workloads.end(), cell.begin(),
+                              cell.end());
+    }
+    spec.policies = {PolicyKind::Dcra, PolicyKind::Icount,
+                     PolicyKind::FlushPp, PolicyKind::DataGating,
+                     PolicyKind::Sra};
+    for (const LatencyPoint &pt : points) {
+        ConfigOverride o;
+        o.label = pt.label;
+        o.memLatency = pt.mem;
+        o.l2Latency = pt.l2;
+        o.iqSharingMode = pt.iqMode;
+        o.regSharingMode = pt.regMode;
+        spec.configs.push_back(std::move(o));
+    }
+
+    SweepRunner runner(std::move(spec), benchJobs());
+    const SweepResults results = runner.run();
 
     double imp[4][3];
     for (int li = 0; li < 3; ++li) {
-        SimConfig cfg;
-        cfg.mem.memLatency = points[li].mem;
-        cfg.mem.l2Latency = points[li].l2;
-        cfg.policy.iqSharingMode = points[li].iqMode;
-        cfg.policy.regSharingMode = points[li].regMode;
-        ExperimentContext ctx(cfg, commitBudget(), warmupBudget());
-
         double dcra = 0.0;
         double other[4] = {};
-        const WorkloadType types[] = {WorkloadType::ILP,
-                                      WorkloadType::MIX,
-                                      WorkloadType::MEM};
-        for (const auto ty : types) {
-            dcra += ctx.runCell(2, ty, PolicyKind::Dcra).hmean;
+        for (const WorkloadType ty : types) {
+            dcra += cellAverage(results, 2, ty, PolicyKind::Dcra,
+                                li).hmean;
             for (int k = 0; k < 4; ++k)
-                other[k] += ctx.runCell(2, ty, others[k]).hmean;
+                other[k] +=
+                    cellAverage(results, 2, ty, others[k], li).hmean;
         }
         for (int k = 0; k < 4; ++k)
             imp[k][li] = improvementPct(dcra, other[k]);

@@ -1,0 +1,90 @@
+#include "runner/baseline_cache.hh"
+
+#include <utility>
+
+#include "runner/sweep_spec.hh"
+
+namespace smt {
+
+namespace {
+
+double
+simulateBaseline(const SimConfig &cfg, const std::string &bench,
+                 std::uint64_t commits, std::uint64_t warmup,
+                 Cycle maxCycles)
+{
+    Simulator sim(cfg, {bench}, PolicyKind::Icount);
+    const SimResult res = sim.run(commits, maxCycles, warmup);
+    return res.threads[0].ipc;
+}
+
+} // anonymous namespace
+
+BaselineCache::BaselineCache() : compute(simulateBaseline) {}
+
+BaselineCache::BaselineCache(Compute compute_)
+    : compute(std::move(compute_))
+{
+}
+
+double
+BaselineCache::ipc(const SimConfig &cfg, const std::string &bench,
+                   std::uint64_t commits, std::uint64_t warmup,
+                   Cycle maxCycles)
+{
+    // The baseline run is always single-threaded (Simulator overrides
+    // numThreads to the bench count), so configs differing only in
+    // numThreads share one entry.
+    SimConfig keyCfg = cfg;
+    keyCfg.core.numThreads = 1;
+    std::string key = configKey(keyCfg);
+    key += '|';
+    key += bench;
+    key += '|';
+    key += std::to_string(commits);
+    key += '/';
+    key += std::to_string(warmup);
+    key += '/';
+    key += std::to_string(maxCycles);
+
+    std::promise<double> promise;
+    std::shared_future<double> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = entries.find(key);
+        if (it == entries.end()) {
+            fut = promise.get_future().share();
+            entries.emplace(key, fut);
+            owner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner) {
+        // Compute outside the lock: other keys stay serviceable and
+        // waiters on this key block on the future, not the mutex.
+        computes.fetch_add(1, std::memory_order_relaxed);
+        try {
+            promise.set_value(
+                compute(cfg, bench, commits, warmup, maxCycles));
+        } catch (...) {
+            // Propagate the real error to concurrent waiters and
+            // drop the entry so a later call can retry instead of
+            // seeing this key poisoned forever.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu);
+            entries.erase(key);
+        }
+    }
+    return fut.get();
+}
+
+std::size_t
+BaselineCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+}
+
+} // namespace smt

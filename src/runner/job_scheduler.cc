@@ -1,0 +1,55 @@
+#include "runner/job_scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace smt {
+
+JobScheduler::JobScheduler(int jobs)
+    : nJobs(jobs > 0 ? jobs : hostJobs())
+{
+}
+
+int
+JobScheduler::hostJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+JobScheduler::run(std::size_t n,
+                  const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(nJobs), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace smt

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Work-stealing thread pool for independent simulation jobs. Workers
+ * pull job indices from a shared atomic counter, so the load balances
+ * itself regardless of per-job runtime; callers write each result
+ * into a pre-sized slot keyed by the index, which keeps the output
+ * order deterministic and bit-identical to a serial run.
+ */
+
+#ifndef DCRA_SMT_RUNNER_JOB_SCHEDULER_HH
+#define DCRA_SMT_RUNNER_JOB_SCHEDULER_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace smt {
+
+class JobScheduler
+{
+  public:
+    /**
+     * @param jobs worker threads to use; 0 (or negative) means one
+     *        per host hardware thread.
+     */
+    explicit JobScheduler(int jobs = 0);
+
+    /** Worker threads this scheduler will spawn. */
+    int jobs() const { return nJobs; }
+
+    /**
+     * Invoke fn(i) exactly once for every i in [0, n). With one
+     * worker the calls happen inline, in index order; with more, any
+     * worker may run any index, so fn must only touch state owned by
+     * its index (plus internally synchronised shared services such
+     * as BaselineCache).
+     */
+    void run(std::size_t n,
+             const std::function<void(std::size_t)> &fn) const;
+
+    /** One worker per host hardware thread (always >= 1). */
+    static int hostJobs();
+
+  private:
+    int nJobs;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_RUNNER_JOB_SCHEDULER_HH

@@ -1,0 +1,259 @@
+#include "runner/result_sink.hh"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace smt {
+
+namespace {
+
+std::string
+fmtDouble(double v, int prec = 6)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** RFC-4180 quoting: needed for config labels like "mem=100,l2=20". */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+joinBenches(const Workload &w, char sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < w.benches.size(); ++i) {
+        if (i)
+            out += sep;
+        out += w.benches[i];
+    }
+    return out;
+}
+
+/** The config fields the JSON/CSV schema reports per job. */
+void
+appendConfigJson(std::string &out, const SweepJob &job)
+{
+    const SimConfig &c = job.config;
+    out += "{\"label\": \"" + jsonEscape(job.configLabel) + "\"";
+    out += ", \"numThreads\": " +
+        std::to_string(job.workload.numThreads);
+    out += ", \"memLatency\": " + fmtU64(c.mem.memLatency);
+    out += ", \"l2Latency\": " + fmtU64(c.mem.l2Latency);
+    out += ", \"physRegsPerFile\": " +
+        std::to_string(c.core.physRegsPerFile);
+    out += ", \"iqSize\": [" + std::to_string(c.core.iqSize[0]) +
+        ", " + std::to_string(c.core.iqSize[1]) + ", " +
+        std::to_string(c.core.iqSize[2]) + "]";
+    out += ", \"perfectDcache\": ";
+    out += c.mem.perfectDcache ? "true" : "false";
+    out += ", \"seed\": " + fmtU64(c.seed);
+    out += "}";
+}
+
+} // anonymous namespace
+
+std::string
+TableSink::render(const SweepResults &res) const
+{
+    const bool hmean = res.spec.computeHmean;
+    TextTable t;
+    std::vector<std::string> hdr = {"workload", "benches", "policy",
+                                    "config", "cycles",
+                                    "throughput"};
+    if (hmean)
+        hdr.push_back("hmean");
+    t.header(std::move(hdr));
+
+    for (const JobResult &r : res.results) {
+        std::vector<std::string> row = {
+            r.job.workload.id,
+            joinBenches(r.job.workload, '+'),
+            policyKindName(r.job.policy),
+            r.job.configLabel.empty() ? "-" : r.job.configLabel,
+            fmtU64(r.summary.raw.cycles),
+            TextTable::fmt(r.summary.throughput, 3),
+        };
+        if (hmean)
+            row.push_back(TextTable::fmt(r.summary.hmean, 3));
+        t.row(std::move(row));
+    }
+    return t.str();
+}
+
+std::string
+CsvSink::render(const SweepResults &res) const
+{
+    const bool hmean = res.spec.computeHmean;
+    std::string out =
+        "workload,type,group,policy,config,num_threads,thread,bench,"
+        "ipc,single_ipc,committed,fetched,squashed,cond_branches,"
+        "mispredicts,flushes,l1d_accesses,l1d_misses,l2_accesses,"
+        "l2_misses,cycles,throughput,hmean\n";
+    for (const JobResult &r : res.results) {
+        const SimResult &raw = r.summary.raw;
+        for (std::size_t t = 0; t < raw.threads.size(); ++t) {
+            const ThreadResult &tr = raw.threads[t];
+            out += csvEscape(r.job.workload.id);
+            out += ',';
+            out += workloadTypeName(r.job.workload.type);
+            out += ',';
+            out += std::to_string(r.job.workload.group);
+            out += ',';
+            out += policyKindName(r.job.policy);
+            out += ',';
+            out += csvEscape(r.job.configLabel);
+            out += ',';
+            out += std::to_string(r.job.workload.numThreads);
+            out += ',';
+            out += std::to_string(t);
+            out += ',';
+            out += csvEscape(tr.bench);
+            out += ',';
+            out += fmtDouble(tr.ipc);
+            out += ',';
+            if (hmean)
+                out += fmtDouble(r.summary.singleIpc[t]);
+            out += ',';
+            out += fmtU64(tr.committed) + ',' + fmtU64(tr.fetched) +
+                ',' + fmtU64(tr.squashed) + ',' +
+                fmtU64(tr.condBranches) + ',' +
+                fmtU64(tr.mispredicts) + ',' + fmtU64(tr.flushes) +
+                ',' + fmtU64(tr.l1dAccesses) + ',' +
+                fmtU64(tr.l1dMisses) + ',' + fmtU64(tr.l2Accesses) +
+                ',' + fmtU64(tr.l2Misses) + ',';
+            out += fmtU64(raw.cycles);
+            out += ',';
+            out += fmtDouble(r.summary.throughput);
+            out += ',';
+            if (hmean)
+                out += fmtDouble(r.summary.hmean);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+JsonSink::render(const SweepResults &res) const
+{
+    const bool hmean = res.spec.computeHmean;
+    std::string out = "{\n";
+    out += "  \"schema\": \"smtsim-sweep-v1\",\n";
+    out +=
+        "  \"name\": \"" + jsonEscape(res.spec.name) + "\",\n";
+    out += "  \"commits\": " + fmtU64(res.spec.commits) + ",\n";
+    out += "  \"warmup\": " + fmtU64(res.spec.warmup) + ",\n";
+    out += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < res.results.size(); ++i) {
+        const JobResult &r = res.results[i];
+        const SimResult &raw = r.summary.raw;
+        out += "    {\"workload\": \"" +
+            jsonEscape(r.job.workload.id) + "\"";
+        out += ", \"type\": \"";
+        out += workloadTypeName(r.job.workload.type);
+        out += "\"";
+        out += ", \"group\": " +
+            std::to_string(r.job.workload.group);
+        out += ", \"policy\": \"";
+        out += policyKindName(r.job.policy);
+        out += "\"";
+        out += ", \"config\": ";
+        appendConfigJson(out, r.job);
+        out += ",\n     \"cycles\": " + fmtU64(raw.cycles);
+        out += ", \"throughput\": " +
+            fmtDouble(r.summary.throughput);
+        out += ", \"hmean\": ";
+        out += hmean ? fmtDouble(r.summary.hmean) : "null";
+        out += ", \"mlpBusyMean\": " + fmtDouble(raw.mlpBusyMean);
+        out += ",\n     \"threads\": [\n";
+        for (std::size_t t = 0; t < raw.threads.size(); ++t) {
+            const ThreadResult &tr = raw.threads[t];
+            out += "       {\"bench\": \"" + jsonEscape(tr.bench) +
+                "\"";
+            out += ", \"ipc\": " + fmtDouble(tr.ipc);
+            out += ", \"singleIpc\": ";
+            out += hmean ? fmtDouble(r.summary.singleIpc[t])
+                         : "null";
+            out += ", \"committed\": " + fmtU64(tr.committed);
+            out += ", \"fetched\": " + fmtU64(tr.fetched);
+            out += ", \"fetchedWrongPath\": " +
+                fmtU64(tr.fetchedWrongPath);
+            out += ", \"squashed\": " + fmtU64(tr.squashed);
+            out += ", \"condBranches\": " + fmtU64(tr.condBranches);
+            out += ", \"mispredicts\": " + fmtU64(tr.mispredicts);
+            out += ", \"flushes\": " + fmtU64(tr.flushes);
+            out += ", \"l1dAccesses\": " + fmtU64(tr.l1dAccesses);
+            out += ", \"l1dMisses\": " + fmtU64(tr.l1dMisses);
+            out += ", \"l2Accesses\": " + fmtU64(tr.l2Accesses);
+            out += ", \"l2Misses\": " + fmtU64(tr.l2Misses);
+            out += "}";
+            out += t + 1 < raw.threads.size() ? ",\n" : "\n";
+        }
+        out += "     ]}";
+        out += i + 1 < res.results.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::unique_ptr<ResultSink>
+makeSink(const std::string &format)
+{
+    if (format == "table")
+        return std::make_unique<TableSink>();
+    if (format == "csv")
+        return std::make_unique<CsvSink>();
+    if (format == "json")
+        return std::make_unique<JsonSink>();
+    return nullptr;
+}
+
+} // namespace smt

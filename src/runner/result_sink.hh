@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Output emitters for sweep results: a human-readable table, CSV
+ * (one row per thread), and JSON (schema "smtsim-sweep-v1" with the
+ * full config, per-thread stats and throughput/Hmean). All three
+ * render from the deterministically ordered SweepResults, so a
+ * parallel sweep emits the same bytes as a serial one; the JSON
+ * emitter doubles as the `smtsim --json` single-run format.
+ */
+
+#ifndef DCRA_SMT_RUNNER_RESULT_SINK_HH
+#define DCRA_SMT_RUNNER_RESULT_SINK_HH
+
+#include <memory>
+#include <string>
+
+#include "runner/runner.hh"
+
+namespace smt {
+
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Render the whole sweep to a string. */
+    virtual std::string render(const SweepResults &res) const = 0;
+
+    /** Format name ("table", "csv", "json"). */
+    virtual const char *name() const = 0;
+};
+
+/** Aligned plain-text table, one row per job. */
+class TableSink : public ResultSink
+{
+  public:
+    std::string render(const SweepResults &res) const override;
+    const char *name() const override { return "table"; }
+};
+
+/** CSV, one row per (job, thread). */
+class CsvSink : public ResultSink
+{
+  public:
+    std::string render(const SweepResults &res) const override;
+    const char *name() const override { return "csv"; }
+};
+
+/** JSON document, schema "smtsim-sweep-v1". */
+class JsonSink : public ResultSink
+{
+  public:
+    std::string render(const SweepResults &res) const override;
+    const char *name() const override { return "json"; }
+};
+
+/**
+ * Sink by format name ("table", "csv", "json"); nullptr for an
+ * unknown name.
+ */
+std::unique_ptr<ResultSink> makeSink(const std::string &format);
+
+} // namespace smt
+
+#endif // DCRA_SMT_RUNNER_RESULT_SINK_HH

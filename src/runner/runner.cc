@@ -1,0 +1,97 @@
+#include "runner/runner.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "runner/job_scheduler.hh"
+#include "sim/metrics.hh"
+
+namespace smt {
+
+const JobResult &
+SweepResults::at(std::size_t configIdx, std::size_t policyIdx,
+                 std::size_t workloadIdx) const
+{
+    const std::size_t index =
+        (configIdx * spec.policies.size() + policyIdx) *
+            spec.workloads.size() +
+        workloadIdx;
+    SMT_ASSERT(index < results.size(),
+               "grid point (%zu,%zu,%zu) outside sweep", configIdx,
+               policyIdx, workloadIdx);
+    return results[index];
+}
+
+SweepRunner::SweepRunner(SweepSpec spec_, int jobs,
+                         std::shared_ptr<BaselineCache> baselines)
+    : spec(std::move(spec_)), nJobs(jobs),
+      cache(baselines ? std::move(baselines)
+                      : std::make_shared<BaselineCache>())
+{
+}
+
+SweepResults
+SweepRunner::run()
+{
+    std::vector<SweepJob> jobs = expandSweep(spec);
+
+    SweepResults out;
+    out.spec = spec;
+    out.results.resize(jobs.size());
+
+    const JobScheduler sched(nJobs);
+    sched.run(jobs.size(), [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        Simulator sim(job.config, job.workload.benches, job.policy);
+        RunSummary s;
+        s.raw = sim.run(spec.commits, spec.maxCycles, spec.warmup);
+        for (std::size_t t = 0; t < job.workload.benches.size();
+             ++t) {
+            s.multiIpc.push_back(s.raw.threads[t].ipc);
+            if (spec.computeHmean) {
+                s.singleIpc.push_back(
+                    cache->ipc(job.config, job.workload.benches[t],
+                               spec.commits, spec.warmup,
+                               spec.maxCycles));
+            }
+        }
+        s.throughput = s.raw.throughput();
+        if (spec.computeHmean)
+            s.hmean = hmeanSpeedup(s.multiIpc, s.singleIpc);
+        // Each job writes only its own pre-sized slot, so no other
+        // synchronisation is needed and the output order does not
+        // depend on scheduling.
+        out.results[i] = JobResult{job, std::move(s)};
+    });
+    return out;
+}
+
+CellAverage
+cellAverage(const SweepResults &res, int numThreads,
+            WorkloadType type, PolicyKind policy,
+            std::size_t configIdx)
+{
+    CellAverage avg;
+    std::size_t n = 0;
+    for (const JobResult &r : res.results) {
+        if (r.job.configIdx != configIdx || r.job.policy != policy ||
+            r.job.workload.numThreads != numThreads ||
+            r.job.workload.type != type) {
+            continue;
+        }
+        avg.throughput += r.summary.throughput;
+        avg.hmean += r.summary.hmean;
+        ++n;
+    }
+    if (!n) {
+        fatal("no %s%d jobs for policy %s (config %zu) in sweep '%s'",
+              workloadTypeName(type), numThreads,
+              policyKindName(policy), configIdx,
+              res.spec.name.c_str());
+    }
+    avg.throughput /= static_cast<double>(n);
+    avg.hmean /= static_cast<double>(n);
+    return avg;
+}
+
+} // namespace smt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The sweep runner: expands a SweepSpec into jobs, executes them on
+ * a JobScheduler across all host cores, shares single-thread
+ * baselines through a BaselineCache, and returns results in the
+ * spec's deterministic job order — a parallel run is bit-identical
+ * to a serial one.
+ */
+
+#ifndef DCRA_SMT_RUNNER_RUNNER_HH
+#define DCRA_SMT_RUNNER_RUNNER_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "runner/baseline_cache.hh"
+#include "runner/sweep_spec.hh"
+#include "sim/experiment.hh"
+
+namespace smt {
+
+/** Outcome of one sweep job. */
+struct JobResult
+{
+    SweepJob job;
+    RunSummary summary;
+};
+
+/** Outcome of one whole sweep, ordered by job index. */
+struct SweepResults
+{
+    SweepSpec spec;
+    std::vector<JobResult> results;
+
+    /** Result of the (config, policy, workload) grid point. */
+    const JobResult &at(std::size_t configIdx, std::size_t policyIdx,
+                        std::size_t workloadIdx) const;
+};
+
+class SweepRunner
+{
+  public:
+    /**
+     * @param spec the grid to run.
+     * @param jobs worker threads; 0 = one per host hardware thread.
+     * @param baselines shared baseline cache; nullptr = private one.
+     */
+    explicit SweepRunner(
+        SweepSpec spec, int jobs = 0,
+        std::shared_ptr<BaselineCache> baselines = nullptr);
+
+    /** Run every job; blocks until the sweep completes. */
+    SweepResults run();
+
+    /** The baseline cache in use (shared across runners if given). */
+    BaselineCache &baselines() { return *cache; }
+
+  private:
+    SweepSpec spec;
+    int nJobs;
+    std::shared_ptr<BaselineCache> cache;
+};
+
+/**
+ * Average the four paper groups of one workload cell under one
+ * policy and config, the aggregation of figures 4-7. Calls fatal()
+ * when the sweep contains no matching job.
+ */
+CellAverage cellAverage(const SweepResults &res, int numThreads,
+                        WorkloadType type, PolicyKind policy,
+                        std::size_t configIdx = 0);
+
+} // namespace smt
+
+#endif // DCRA_SMT_RUNNER_RUNNER_HH

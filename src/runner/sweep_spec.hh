@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Declarative sweep specifications: a grid of workloads x policies x
+ * configuration overrides that expands into a flat list of
+ * independent simulation jobs. The expansion order is deterministic
+ * (configs outermost, then policies, then workloads), so job index i
+ * always names the same (config, policy, workload) triple and the
+ * parallel runner can emit results in a stable order.
+ */
+
+#ifndef DCRA_SMT_RUNNER_SWEEP_SPEC_HH
+#define DCRA_SMT_RUNNER_SWEEP_SPEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/resources.hh"
+#include "policy/factory.hh"
+#include "policy/sharing_model.hh"
+#include "sim/simulator.hh"
+#include "sim/workload.hh"
+
+namespace smt {
+
+/**
+ * One per-thread occupancy cap expressed as a fraction of the
+ * machine total (Figure 2 style). A fraction >= 1.0 is a no-op, so
+ * the uncapped point of a sensitivity sweep needs no special case.
+ */
+struct ResourceCapFrac
+{
+    ResourceType res = ResIqInt;
+    double frac = 1.0;
+};
+
+/**
+ * A named bundle of SimConfig deltas forming one point on a sweep's
+ * configuration axis. Only the fields the experiments actually sweep
+ * are exposed; everything else comes from the spec's base config.
+ */
+struct ConfigOverride
+{
+    std::string label;
+
+    std::optional<Cycle> memLatency;
+    std::optional<Cycle> l2Latency;
+    std::optional<int> physRegsPerFile;
+    std::optional<int> iqSize; //!< applied to all three queue classes
+    std::optional<bool> perfectDcache;
+    std::optional<SharingFactorMode> iqSharingMode;
+    std::optional<SharingFactorMode> regSharingMode;
+    std::optional<std::uint64_t> seed;
+
+    /** Caps are applied after the scalar fields, so a fraction is
+     * relative to the overridden resource totals. */
+    std::vector<ResourceCapFrac> caps;
+
+    /** Base config with this override applied. */
+    SimConfig apply(SimConfig cfg) const;
+};
+
+/**
+ * Everything a sweep needs: the base hardware configuration, the
+ * run budgets, and the three axes of the grid. An empty config axis
+ * means "just the base config".
+ */
+struct SweepSpec
+{
+    std::string name = "sweep";
+
+    SimConfig base;
+    std::uint64_t commits = 60'000; //!< first-thread commit budget
+    std::uint64_t warmup = 10'000;  //!< commits before measuring
+    Cycle maxCycles = 50'000'000;   //!< hard per-run cycle bound
+
+    /** Compute single-thread baselines (needed for Hmean). */
+    bool computeHmean = true;
+
+    std::vector<Workload> workloads;
+    std::vector<PolicyKind> policies;
+    std::vector<ConfigOverride> configs;
+
+    /** Number of jobs the spec expands into. */
+    std::size_t jobCount() const;
+};
+
+/** One fully resolved simulation job. */
+struct SweepJob
+{
+    std::size_t index = 0; //!< position in the deterministic order
+    std::size_t configIdx = 0;
+    std::size_t policyIdx = 0;
+    std::size_t workloadIdx = 0;
+    Workload workload;
+    PolicyKind policy = PolicyKind::Icount;
+    std::string configLabel;
+    SimConfig config; //!< base + override, ready for Simulator
+};
+
+/**
+ * Expand a spec into jobs. Order: configs outermost, then policies,
+ * then workloads, i.e.
+ *   index = (configIdx * nPolicies + policyIdx) * nWorkloads
+ *           + workloadIdx.
+ * Calls fatal() on an empty workload or policy axis.
+ */
+std::vector<SweepJob> expandSweep(const SweepSpec &spec);
+
+/** A one-thread Workload wrapping a single benchmark. */
+Workload singleBenchWorkload(const std::string &bench);
+
+/**
+ * An ad-hoc Workload from a bench list (e.g. a CLI request), typed
+ * by the paper's rule: all memory-bounded members -> MEM, none ->
+ * ILP, otherwise MIX.
+ */
+Workload adHocWorkload(const std::vector<std::string> &benches);
+
+/**
+ * Stable serialisation of every SimConfig field that can change a
+ * simulation outcome, *excluding* the policy parameters (baseline
+ * runs always use ICOUNT, which reads none of them). Used as the
+ * BaselineCache key so equal-hardware sweep points share baselines.
+ */
+std::string configKey(const SimConfig &cfg);
+
+} // namespace smt
+
+#endif // DCRA_SMT_RUNNER_SWEEP_SPEC_HH

@@ -2,31 +2,27 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "common/logging.hh"
 #include "sim/metrics.hh"
 
 namespace smt {
 
-ExperimentContext::ExperimentContext(const SimConfig &base_,
-                                     std::uint64_t commitLimit,
-                                     std::uint64_t warmupCommits)
-    : base(base_), limit(commitLimit), warmup(warmupCommits)
+ExperimentContext::ExperimentContext(
+    const SimConfig &base_, std::uint64_t commitLimit,
+    std::uint64_t warmupCommits,
+    std::shared_ptr<BaselineCache> baselines_)
+    : base(base_), limit(commitLimit), warmup(warmupCommits),
+      baselines(baselines_ ? std::move(baselines_)
+                           : std::make_shared<BaselineCache>())
 {
 }
 
 double
 ExperimentContext::singleThreadIpc(const std::string &bench)
 {
-    auto it = baselineCache.find(bench);
-    if (it != baselineCache.end())
-        return it->second;
-
-    Simulator sim(base, {bench}, PolicyKind::Icount);
-    const SimResult res = sim.run(limit, 50'000'000, warmup);
-    const double ipc = res.threads[0].ipc;
-    baselineCache.emplace(bench, ipc);
-    return ipc;
+    return baselines->ipc(base, bench, limit, warmup);
 }
 
 RunSummary
@@ -44,7 +40,7 @@ ExperimentContext::runWorkload(const Workload &w, PolicyKind policy)
     return s;
 }
 
-ExperimentContext::CellAverage
+CellAverage
 ExperimentContext::runCell(int numThreads, WorkloadType type,
                            PolicyKind policy)
 {

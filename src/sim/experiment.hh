@@ -10,15 +10,25 @@
 #define DCRA_SMT_SIM_EXPERIMENT_HH
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "policy/factory.hh"
+#include "runner/baseline_cache.hh"
 #include "sim/simulator.hh"
 #include "sim/workload.hh"
 
 namespace smt {
+
+/** Average throughput/Hmean over a family of runs (one workload
+ * cell); shared by ExperimentContext::runCell and the runner's
+ * cellAverage(). */
+struct CellAverage
+{
+    double throughput = 0.0;
+    double hmean = 0.0;
+};
 
 /** Condensed outcome of one multithreaded run. */
 struct RunSummary
@@ -32,7 +42,10 @@ struct RunSummary
 
 /**
  * Shared context for a family of runs under one hardware
- * configuration. Single-thread baselines are cached per benchmark.
+ * configuration. Single-thread baselines come from a concurrency-
+ * safe BaselineCache, which may be shared with other contexts (or a
+ * SweepRunner) so each (config, benchmark) baseline is simulated at
+ * most once per process.
  */
 class ExperimentContext
 {
@@ -41,10 +54,12 @@ class ExperimentContext
      * @param base hardware/policy configuration for all runs.
      * @param commitLimit per-run first-thread commit budget.
      * @param warmupCommits commits executed before measuring.
+     * @param baselines shared baseline cache; nullptr = private one.
      */
-    explicit ExperimentContext(const SimConfig &base,
-                               std::uint64_t commitLimit = 100'000,
-                               std::uint64_t warmupCommits = 0);
+    explicit ExperimentContext(
+        const SimConfig &base, std::uint64_t commitLimit = 100'000,
+        std::uint64_t warmupCommits = 0,
+        std::shared_ptr<BaselineCache> baselines = nullptr);
 
     /** Single-thread IPC of a benchmark (cached). */
     double singleThreadIpc(const std::string &bench);
@@ -56,11 +71,6 @@ class ExperimentContext
      * Average throughput and Hmean of the four groups of a workload
      * cell under one policy.
      */
-    struct CellAverage
-    {
-        double throughput = 0.0;
-        double hmean = 0.0;
-    };
     CellAverage runCell(int numThreads, WorkloadType type,
                         PolicyKind policy);
 
@@ -74,7 +84,7 @@ class ExperimentContext
     SimConfig base;
     std::uint64_t limit;
     std::uint64_t warmup;
-    std::map<std::string, double> baselineCache;
+    std::shared_ptr<BaselineCache> baselines;
 };
 
 } // namespace smt

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the parallel experiment-runner subsystem (src/runner/):
+ * SweepSpec expansion, config overrides, the JobScheduler, the
+ * concurrency-safe BaselineCache, result aggregation, and the
+ * headline guarantee that a parallel sweep is bit-identical to a
+ * serial one across every output format.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/baseline_cache.hh"
+#include "runner/job_scheduler.hh"
+#include "runner/result_sink.hh"
+#include "runner/runner.hh"
+#include "runner/sweep_spec.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace smt;
+
+// ---------------------------------------------------------------
+// SweepSpec expansion
+// ---------------------------------------------------------------
+
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.name = "test";
+    spec.commits = 1'500;
+    spec.warmup = 0;
+    spec.workloads = {adHocWorkload({"gzip", "mcf"}),
+                      adHocWorkload({"gzip", "twolf"})};
+    spec.policies = {PolicyKind::Icount, PolicyKind::Dcra};
+    return spec;
+}
+
+TEST(SweepSpec, ExpansionOrderAndCount)
+{
+    SweepSpec spec = tinySpec();
+    ConfigOverride a;
+    a.label = "a";
+    ConfigOverride b;
+    b.label = "b";
+    b.memLatency = 100;
+    spec.configs = {a, b};
+
+    const std::vector<SweepJob> jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), spec.jobCount());
+    ASSERT_EQ(jobs.size(), 2u * 2u * 2u);
+
+    // index = (config * nPolicies + policy) * nWorkloads + workload
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].index,
+                  (jobs[i].configIdx * spec.policies.size() +
+                   jobs[i].policyIdx) *
+                          spec.workloads.size() +
+                      jobs[i].workloadIdx);
+    }
+    // workloads innermost, configs outermost
+    EXPECT_EQ(jobs[0].workload.id, "gzip+mcf");
+    EXPECT_EQ(jobs[1].workload.id, "gzip+twolf");
+    EXPECT_TRUE(jobs[0].policy == PolicyKind::Icount);
+    EXPECT_TRUE(jobs[2].policy == PolicyKind::Dcra);
+    EXPECT_EQ(jobs[3].configIdx, 0u);
+    EXPECT_EQ(jobs[4].configIdx, 1u);
+    EXPECT_EQ(jobs[4].configLabel, "b");
+    EXPECT_EQ(jobs[4].config.mem.memLatency, 100u);
+    EXPECT_EQ(jobs[0].config.mem.memLatency,
+              SimConfig().mem.memLatency);
+}
+
+TEST(SweepSpec, EmptyConfigAxisMeansIdentity)
+{
+    const SweepSpec spec = tinySpec();
+    const std::vector<SweepJob> jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), 4u);
+    for (const SweepJob &j : jobs) {
+        EXPECT_EQ(j.configIdx, 0u);
+        EXPECT_EQ(j.configLabel, "");
+        EXPECT_EQ(configKey(j.config), configKey(spec.base));
+    }
+}
+
+TEST(SweepSpec, ConfigOverrideAppliesFields)
+{
+    ConfigOverride o;
+    o.memLatency = 500;
+    o.l2Latency = 25;
+    o.physRegsPerFile = 320;
+    o.iqSize = 32;
+    o.perfectDcache = true;
+    o.seed = 42;
+
+    const SimConfig cfg = o.apply(SimConfig());
+    EXPECT_EQ(cfg.mem.memLatency, 500u);
+    EXPECT_EQ(cfg.mem.l2Latency, 25u);
+    EXPECT_EQ(cfg.core.physRegsPerFile, 320);
+    for (int q = 0; q < numQueueClasses; ++q)
+        EXPECT_EQ(cfg.core.iqSize[q], 32);
+    EXPECT_TRUE(cfg.mem.perfectDcache);
+    EXPECT_EQ(cfg.seed, 42u);
+}
+
+TEST(SweepSpec, ResourceCapFractionMath)
+{
+    ConfigOverride o;
+    o.iqSize = 32;
+    o.caps.push_back({ResIqInt, 0.25});
+    o.caps.push_back({ResIqFp, 1.0}); // no-op
+
+    const SimConfig cfg = o.apply(SimConfig());
+    // cap applies after the scalar overrides: 25% of 32, not of 80
+    EXPECT_EQ(cfg.core.resourceCap[ResIqInt], 8);
+    EXPECT_EQ(cfg.core.resourceCap[ResIqFp], -1);
+    // a tiny fraction still grants at least one entry
+    ConfigOverride tiny;
+    tiny.caps.push_back({ResIqLs, 0.0001});
+    EXPECT_EQ(tiny.apply(SimConfig()).core.resourceCap[ResIqLs], 1);
+}
+
+TEST(SweepSpec, AdHocWorkloadTyping)
+{
+    EXPECT_TRUE(adHocWorkload({"gzip", "bzip2"}).type ==
+                WorkloadType::ILP);
+    EXPECT_TRUE(adHocWorkload({"mcf", "twolf"}).type ==
+                WorkloadType::MEM);
+    EXPECT_TRUE(adHocWorkload({"gzip", "mcf"}).type ==
+                WorkloadType::MIX);
+    const Workload w = singleBenchWorkload("mcf");
+    EXPECT_EQ(w.numThreads, 1);
+    EXPECT_EQ(w.id, "mcf");
+    ASSERT_EQ(w.benches.size(), 1u);
+}
+
+TEST(SweepSpec, ConfigKeySeparatesHardwareConfigs)
+{
+    const SimConfig base;
+    SimConfig regs = base;
+    regs.core.physRegsPerFile = 320;
+    SimConfig lat = base;
+    lat.mem.memLatency = 500;
+    EXPECT_EQ(configKey(base), configKey(SimConfig()));
+    EXPECT_NE(configKey(base), configKey(regs));
+    EXPECT_NE(configKey(base), configKey(lat));
+    EXPECT_NE(configKey(regs), configKey(lat));
+}
+
+// ---------------------------------------------------------------
+// JobScheduler
+// ---------------------------------------------------------------
+
+TEST(JobScheduler, RunsEveryIndexExactlyOnce)
+{
+    for (const int jobs : {1, 2, 8}) {
+        const JobScheduler sched(jobs);
+        constexpr std::size_t n = 100;
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h.store(0);
+        sched.run(n, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1);
+    }
+}
+
+TEST(JobScheduler, HandlesZeroAndFewerJobsThanWorkers)
+{
+    const JobScheduler sched(8);
+    sched.run(0, [](std::size_t) { FAIL(); });
+    std::atomic<int> count{0};
+    sched.run(2, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 2);
+    EXPECT_GE(JobScheduler::hostJobs(), 1);
+    EXPECT_EQ(JobScheduler(0).jobs(), JobScheduler::hostJobs());
+}
+
+// ---------------------------------------------------------------
+// BaselineCache
+// ---------------------------------------------------------------
+
+TEST(BaselineCache, ComputesOncePerKeyUnderContention)
+{
+    std::atomic<int> calls{0};
+    BaselineCache cache([&](const SimConfig &, const std::string &,
+                            std::uint64_t, std::uint64_t, Cycle) {
+        calls.fetch_add(1);
+        // widen the race window so losers really do hit the
+        // in-flight future path
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return 1.25;
+    });
+
+    const SimConfig cfg;
+    std::vector<std::thread> threads;
+    std::atomic<int> wrong{0};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&]() {
+            const double v = cache.ipc(cfg, "gzip", 1000, 0);
+            if (v != 1.25)
+                wrong.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(wrong.load(), 0);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.computeCount(), 1u);
+}
+
+TEST(BaselineCache, DistinctKeysPerBenchConfigAndBudget)
+{
+    std::atomic<int> calls{0};
+    BaselineCache cache([&](const SimConfig &, const std::string &,
+                            std::uint64_t, std::uint64_t, Cycle) {
+        return static_cast<double>(calls.fetch_add(1));
+    });
+    const SimConfig cfg;
+    SimConfig other = cfg;
+    other.core.physRegsPerFile = 320;
+
+    cache.ipc(cfg, "gzip", 1000, 0);
+    cache.ipc(cfg, "gzip", 1000, 0);   // hit
+    cache.ipc(cfg, "mcf", 1000, 0);    // new bench
+    cache.ipc(other, "gzip", 1000, 0); // new config
+    cache.ipc(cfg, "gzip", 2000, 0);   // new budget
+    EXPECT_EQ(cache.computeCount(), 4u);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(BaselineCache, NumThreadsDoesNotSplitTheKey)
+{
+    std::atomic<int> calls{0};
+    BaselineCache cache([&](const SimConfig &, const std::string &,
+                            std::uint64_t, std::uint64_t, Cycle) {
+        calls.fetch_add(1);
+        return 2.0;
+    });
+    SimConfig two;
+    two.core.numThreads = 2;
+    SimConfig four;
+    four.core.numThreads = 4;
+    // A baseline run is single-threaded either way, so these share
+    // one cache entry.
+    cache.ipc(two, "gzip", 1000, 0);
+    cache.ipc(four, "gzip", 1000, 0);
+    EXPECT_EQ(cache.computeCount(), 1u);
+}
+
+TEST(BaselineCache, FailedComputeIsRetriedNotPoisoned)
+{
+    std::atomic<int> calls{0};
+    BaselineCache cache([&](const SimConfig &, const std::string &,
+                            std::uint64_t, std::uint64_t, Cycle) {
+        if (calls.fetch_add(1) == 0)
+            throw std::runtime_error("transient");
+        return 3.5;
+    });
+    const SimConfig cfg;
+    bool threw = false;
+    try {
+        cache.ipc(cfg, "gzip", 1000, 0);
+    } catch (const std::runtime_error &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+    // the failed entry must not stay cached: the next call retries
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.ipc(cfg, "gzip", 1000, 0), 3.5);
+    EXPECT_EQ(cache.computeCount(), 2u);
+}
+
+TEST(BaselineCache, SharedBetweenRunnerAndExperimentContext)
+{
+    auto cache = std::make_shared<BaselineCache>();
+    SweepSpec spec = tinySpec();
+    spec.workloads = {adHocWorkload({"gzip", "mcf"})};
+    spec.policies = {PolicyKind::Icount};
+
+    SweepRunner runner(spec, 2, cache);
+    runner.run();
+    const std::uint64_t afterSweep = cache->computeCount();
+    EXPECT_EQ(afterSweep, 2u); // gzip + mcf baselines
+
+    // Same config and budgets: the context reuses the sweep's
+    // baselines instead of simulating them again.
+    ExperimentContext ctx(spec.base, spec.commits, spec.warmup,
+                          cache);
+    ctx.singleThreadIpc("gzip");
+    ctx.singleThreadIpc("mcf");
+    EXPECT_EQ(cache->computeCount(), afterSweep);
+}
+
+// ---------------------------------------------------------------
+// Parallel == serial, across every output format
+// ---------------------------------------------------------------
+
+TEST(SweepRunner, ParallelMatchesSerialByteForByte)
+{
+    const SweepSpec spec = tinySpec();
+
+    SweepRunner serial(spec, 1);
+    const SweepResults a = serial.run();
+    SweepRunner parallel(spec, 4);
+    const SweepResults b = parallel.run();
+
+    ASSERT_EQ(a.results.size(), 4u);
+    ASSERT_EQ(b.results.size(), a.results.size());
+
+    EXPECT_EQ(JsonSink().render(a), JsonSink().render(b));
+    EXPECT_EQ(CsvSink().render(a), CsvSink().render(b));
+    EXPECT_EQ(TableSink().render(a), TableSink().render(b));
+
+    // and re-running serially is reproducible
+    SweepRunner again(spec, 1);
+    EXPECT_EQ(JsonSink().render(again.run()),
+              JsonSink().render(a));
+}
+
+TEST(SweepRunner, MatchesExperimentContext)
+{
+    SweepSpec spec = tinySpec();
+    spec.workloads = {spec.workloads[0]};
+    spec.policies = {PolicyKind::Dcra};
+    SweepRunner runner(spec, 2);
+    const SweepResults res = runner.run();
+
+    ExperimentContext ctx(spec.base, spec.commits, spec.warmup);
+    const RunSummary expect =
+        ctx.runWorkload(spec.workloads[0], PolicyKind::Dcra);
+
+    const RunSummary &got = res.results[0].summary;
+    EXPECT_EQ(got.raw.cycles, expect.raw.cycles);
+    EXPECT_EQ(got.throughput, expect.throughput);
+    EXPECT_EQ(got.hmean, expect.hmean);
+    ASSERT_EQ(got.multiIpc.size(), expect.multiIpc.size());
+    for (std::size_t i = 0; i < got.multiIpc.size(); ++i) {
+        EXPECT_EQ(got.multiIpc[i], expect.multiIpc[i]);
+        EXPECT_EQ(got.singleIpc[i], expect.singleIpc[i]);
+    }
+}
+
+TEST(SweepRunner, CellAverageMatchesManualMean)
+{
+    SweepSpec spec = tinySpec();
+    spec.workloads = workloadsOf(2, WorkloadType::MIX);
+    spec.policies = {PolicyKind::Icount};
+    spec.computeHmean = false;
+    SweepRunner runner(spec, 0);
+    const SweepResults res = runner.run();
+
+    double thr = 0.0;
+    for (const JobResult &r : res.results)
+        thr += r.summary.throughput;
+    thr /= static_cast<double>(res.results.size());
+
+    const CellAverage avg = cellAverage(res, 2, WorkloadType::MIX,
+                                        PolicyKind::Icount);
+    EXPECT_DOUBLE_EQ(avg.throughput, thr);
+}
+
+// ---------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------
+
+TEST(ResultSink, FormatsAndFactory)
+{
+    ASSERT_TRUE(makeSink("table") != nullptr);
+    ASSERT_TRUE(makeSink("csv") != nullptr);
+    ASSERT_TRUE(makeSink("json") != nullptr);
+    EXPECT_TRUE(makeSink("yaml") == nullptr);
+    EXPECT_STREQ(makeSink("json")->name(), "json");
+
+    SweepSpec spec = tinySpec();
+    spec.workloads = {spec.workloads[0]};
+    spec.policies = {PolicyKind::Icount};
+    SweepRunner runner(spec, 1);
+    const SweepResults res = runner.run();
+
+    const std::string json = JsonSink().render(res);
+    EXPECT_NE(json.find("\"schema\": \"smtsim-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"gzip+mcf\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"policy\": \"ICOUNT\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"singleIpc\""), std::string::npos);
+
+    const std::string csv = CsvSink().render(res);
+    // header + one row per thread
+    std::size_t lines = 0;
+    for (const char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1u + 2u);
+    EXPECT_EQ(csv.rfind("workload,type,group,policy,config,", 0),
+              0u);
+}
+
+TEST(ResultSink, CsvQuotesConfigLabelsWithCommas)
+{
+    SweepSpec spec = tinySpec();
+    spec.workloads = {singleBenchWorkload("gzip")};
+    spec.policies = {PolicyKind::Icount};
+    spec.computeHmean = false;
+    ConfigOverride o;
+    o.label = "mem=100,l2=20"; // what sweepMain builds for 2 axes
+    o.memLatency = 100;
+    o.l2Latency = 20;
+    spec.configs = {o};
+
+    SweepRunner runner(std::move(spec), 1);
+    const std::string csv = CsvSink().render(runner.run());
+    // the comma-bearing label must arrive quoted, keeping the
+    // column count intact
+    EXPECT_NE(csv.find("\"mem=100,l2=20\""), std::string::npos);
+    const std::string firstRow =
+        csv.substr(csv.find('\n') + 1,
+                   csv.find('\n', csv.find('\n') + 1) -
+                       csv.find('\n') - 1);
+    std::size_t commas = 0;
+    bool quoted = false;
+    for (const char c : firstRow) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++commas;
+    }
+    std::size_t headerCommas = 0;
+    for (std::size_t i = 0; i < csv.find('\n'); ++i)
+        headerCommas += csv[i] == ',';
+    EXPECT_EQ(commas, headerCommas);
+}
+
+} // anonymous namespace

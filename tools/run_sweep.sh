@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Convenience wrapper around `smtsim sweep`: finds the smtsim binary
+# in the usual build directories (or $SMT_BUILD_DIR) and forwards
+# every argument. Examples:
+#
+#   tools/run_sweep.sh --cells ILP2,MEM2 --policies ICOUNT,DCRA
+#   tools/run_sweep.sh --benches gzip+mcf --mem-latency 100,300 \
+#       --format json --output sweep.json
+#
+# See `smtsim --help` for the full sweep flag list.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+smtsim=""
+for dir in "${SMT_BUILD_DIR:-}" "$root/build" "$root/build-release" \
+           "$root/build-shim"; do
+    [ -n "$dir" ] && [ -x "$dir/smtsim" ] || continue
+    smtsim="$dir/smtsim"
+    break
+done
+
+if [ -z "$smtsim" ]; then
+    echo "run_sweep.sh: no smtsim binary found; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+exec "$smtsim" sweep "$@"

@@ -1,25 +1,42 @@
 /**
  * @file
- * smtsim: command-line driver for the simulator. Runs an arbitrary
- * workload under any policy with the paper's baseline configuration
- * (overridable) and prints a full per-thread report.
+ * smtsim: command-line driver for the simulator.
+ *
+ * Two modes:
+ *
+ *  - single run (default): one workload under one policy with the
+ *    paper's baseline configuration (overridable); prints a full
+ *    per-thread report, or the sweep JSON schema with --json.
+ *  - `smtsim sweep`: a declarative grid of workloads x policies x
+ *    config overrides executed in parallel across host cores by the
+ *    runner subsystem (src/runner/), emitted as a table, CSV or
+ *    JSON. Parallel output is bit-identical to --jobs 1.
  *
  * Examples:
  *   smtsim --workload gzip,mcf --policy DCRA
  *   smtsim --workload mcf,twolf,vpr,parser --policy FLUSH++ \
  *          --mem-latency 500 --l2-latency 25 --commits 200000
+ *   smtsim --workload gzip,mcf --policy DCRA --json
+ *   smtsim sweep --cells ILP2,MEM2 --policies ICOUNT,DCRA \
+ *          --jobs 8 --format csv
+ *   smtsim sweep --benches gzip+mcf,gzip+twolf --policies DCRA \
+ *          --mem-latency 100,300,500 --format json
  *   smtsim --list-benchmarks
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "runner/result_sink.hh"
+#include "runner/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/workload.hh"
 #include "trace/bench_profile.hh"
@@ -33,6 +50,9 @@ usage()
 {
     std::printf(
         "usage: smtsim [options]\n"
+        "       smtsim sweep [sweep options]\n"
+        "\n"
+        "single-run options:\n"
         "  --workload a,b,c     comma-separated benchmarks (1-%d)\n"
         "  --policy NAME        ROUND-ROBIN ICOUNT STALL FLUSH\n"
         "                       FLUSH++ DG PDG SRA DCRA DCRA-DEG\n"
@@ -44,10 +64,36 @@ usage()
         "  --iq N               entries per issue queue\n"
         "  --seed N             workload generation seed\n"
         "  --perfect-dcache     all data accesses hit L1\n"
+        "  --json               emit the sweep JSON schema instead\n"
+        "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
         "  --list-workloads     show the paper's Table 4 workloads\n"
         "  --selftest           10k-cycle 2-thread DCRA smoke run;\n"
-        "                       exits nonzero on NaN or zero IPC\n",
+        "                       exits nonzero on NaN or zero IPC\n"
+        "\n"
+        "sweep options (grid = workloads x policies x configs):\n"
+        "  --benches a+b,c+d    ad-hoc workloads ('+' joins the\n"
+        "                       threads of one workload)\n"
+        "  --workloads id,...   paper Table 4 workload ids\n"
+        "                       (e.g. MEM2.g1; see --list-workloads)\n"
+        "  --cells MEM2,ILP4    all four groups of a workload cell\n"
+        "  --policies A,B       policies to sweep (default\n"
+        "                       ICOUNT,DCRA)\n"
+        "  --mem-latency a,b    memory-latency axis (cycles)\n"
+        "  --l2-latency a,b     L2-latency axis (cycles)\n"
+        "  --regs a,b           register-file-size axis\n"
+        "  --iq a,b             issue-queue-size axis\n"
+        "  --commits N          per-run commit budget (default\n"
+        "                       60000)\n"
+        "  --warmup N           warmup commits (default 10000)\n"
+        "  --seed N             workload generation seed\n"
+        "  --perfect-dcache     all data accesses hit L1\n"
+        "  --no-hmean           skip single-thread baselines\n"
+        "  --jobs N             worker threads (default: all host\n"
+        "                       cores); results are identical for\n"
+        "                       every N\n"
+        "  --format F           table | csv | json (default table)\n"
+        "  --output FILE        write to FILE instead of stdout\n",
         maxThreads);
 }
 
@@ -92,20 +138,281 @@ selftest()
 }
 
 std::vector<std::string>
-splitCommas(const std::string &s)
+splitOn(const std::string &s, char sep)
 {
     std::vector<std::string> out;
     std::size_t start = 0;
     while (start <= s.size()) {
-        const std::size_t comma = s.find(',', start);
-        if (comma == std::string::npos) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
             out.push_back(s.substr(start));
             break;
         }
-        out.push_back(s.substr(start, comma - start));
-        start = comma + 1;
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
     }
     return out;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    return splitOn(s, ',');
+}
+
+/**
+ * Check a workload's benchmark list: 1..maxThreads members, every
+ * name known. Reports to stderr and returns false on any problem,
+ * so callers can exit nonzero instead of hitting fatal() (or
+ * undefined behaviour) deep inside the simulator.
+ */
+bool
+validateBenches(const std::vector<std::string> &benches)
+{
+    if (benches.empty() ||
+        (benches.size() == 1 && benches[0].empty())) {
+        std::fprintf(stderr, "error: empty workload\n");
+        return false;
+    }
+    if (benches.size() > static_cast<std::size_t>(maxThreads)) {
+        std::fprintf(stderr,
+                     "error: workload has %zu benchmarks; the model "
+                     "supports at most %d hardware contexts\n",
+                     benches.size(), maxThreads);
+        return false;
+    }
+    const std::vector<std::string> &known = allBenchNames();
+    for (const std::string &b : benches) {
+        if (std::find(known.begin(), known.end(), b) == known.end()) {
+            std::fprintf(stderr,
+                         "error: unknown benchmark '%s' (run "
+                         "'smtsim --list-benchmarks' for the list)\n",
+                         b.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Parse a comma list of non-negative integers; false on junk. */
+bool
+parseU64List(const std::string &s, std::vector<std::uint64_t> &out)
+{
+    for (const std::string &tok : splitCommas(s)) {
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+    return !out.empty();
+}
+
+/** Emit to --output FILE or stdout. */
+int
+emitOutput(const std::string &text, const std::string &path)
+{
+    if (path.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return 0;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    const bool wrote = std::fputs(text.c_str(), f) >= 0;
+    // fclose flushes the buffered tail; a full disk surfaces here.
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        std::fprintf(stderr, "error: failed writing '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** `smtsim sweep ...`: build a SweepSpec from the flags and run it. */
+int
+sweepMain(int argc, char **argv)
+{
+    SweepSpec spec;
+    spec.name = "cli-sweep";
+    spec.commits = 60'000;
+    spec.warmup = 10'000;
+
+    std::vector<std::uint64_t> memLats, l2Lats, regSizes, iqSizes;
+    std::string format = "table";
+    std::string outPath;
+    int jobs = 0;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--benches") {
+            for (const std::string &spec_s : splitCommas(next())) {
+                const std::vector<std::string> benches =
+                    splitOn(spec_s, '+');
+                if (!validateBenches(benches))
+                    return 1;
+                spec.workloads.push_back(adHocWorkload(benches));
+            }
+        } else if (arg == "--workloads") {
+            for (const std::string &id : splitCommas(next())) {
+                const std::vector<Workload> &all = allWorkloads();
+                auto it = std::find_if(
+                    all.begin(), all.end(),
+                    [&](const Workload &w) { return w.id == id; });
+                if (it == all.end()) {
+                    std::fprintf(stderr,
+                                 "error: unknown workload id '%s' "
+                                 "(run 'smtsim --list-workloads')\n",
+                                 id.c_str());
+                    return 1;
+                }
+                spec.workloads.push_back(*it);
+            }
+        } else if (arg == "--cells") {
+            for (const std::string &cell : splitCommas(next())) {
+                WorkloadType ty;
+                if (cell.rfind("ILP", 0) == 0)
+                    ty = WorkloadType::ILP;
+                else if (cell.rfind("MIX", 0) == 0)
+                    ty = WorkloadType::MIX;
+                else if (cell.rfind("MEM", 0) == 0)
+                    ty = WorkloadType::MEM;
+                else {
+                    std::fprintf(stderr,
+                                 "error: bad cell '%s' (want e.g. "
+                                 "ILP2, MIX3, MEM4)\n",
+                                 cell.c_str());
+                    return 1;
+                }
+                const int n = std::atoi(cell.c_str() + 3);
+                const std::vector<Workload> group =
+                    workloadsOf(n, ty);
+                if (group.empty()) {
+                    std::fprintf(stderr,
+                                 "error: no workloads in cell '%s'\n",
+                                 cell.c_str());
+                    return 1;
+                }
+                spec.workloads.insert(spec.workloads.end(),
+                                      group.begin(), group.end());
+            }
+        } else if (arg == "--policies") {
+            for (const std::string &p : splitCommas(next()))
+                spec.policies.push_back(parsePolicyKind(p));
+        } else if (arg == "--mem-latency") {
+            if (!parseU64List(next(), memLats))
+                fatal("bad --mem-latency list");
+        } else if (arg == "--l2-latency") {
+            if (!parseU64List(next(), l2Lats))
+                fatal("bad --l2-latency list");
+        } else if (arg == "--regs") {
+            if (!parseU64List(next(), regSizes))
+                fatal("bad --regs list");
+        } else if (arg == "--iq") {
+            if (!parseU64List(next(), iqSizes))
+                fatal("bad --iq list");
+        } else if (arg == "--commits") {
+            spec.commits = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            spec.warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            spec.base.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--perfect-dcache") {
+            spec.base.mem.perfectDcache = true;
+        } else if (arg == "--no-hmean") {
+            spec.computeHmean = false;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<int>(
+                std::strtol(next(), nullptr, 10));
+            if (jobs < 1) {
+                std::fprintf(stderr, "error: --jobs wants N >= 1\n");
+                return 1;
+            }
+        } else if (arg == "--format") {
+            format = next();
+        } else if (arg == "--output") {
+            outPath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown sweep option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        }
+    }
+
+    if (spec.workloads.empty()) {
+        std::fprintf(stderr,
+                     "error: no workloads; give --benches, "
+                     "--workloads and/or --cells\n");
+        return 1;
+    }
+    if (spec.policies.empty())
+        spec.policies = {PolicyKind::Icount, PolicyKind::Dcra};
+
+    const std::unique_ptr<ResultSink> sink = makeSink(format);
+    if (!sink) {
+        std::fprintf(stderr,
+                     "error: unknown format '%s' (table, csv, "
+                     "json)\n",
+                     format.c_str());
+        return 1;
+    }
+
+    // Cross product of the explicitly given config axes; an axis the
+    // user omitted contributes no label and no override.
+    auto axis = [](const std::vector<std::uint64_t> &v) {
+        return v.empty() ? std::vector<std::uint64_t>{0} : v;
+    };
+    for (const std::uint64_t ml : axis(memLats)) {
+        for (const std::uint64_t l2 : axis(l2Lats)) {
+            for (const std::uint64_t rg : axis(regSizes)) {
+                for (const std::uint64_t iq : axis(iqSizes)) {
+                    ConfigOverride o;
+                    auto addPart = [&](const char *k,
+                                       std::uint64_t v) {
+                        if (!o.label.empty())
+                            o.label += ',';
+                        o.label += k;
+                        o.label += '=';
+                        o.label += std::to_string(v);
+                    };
+                    if (!memLats.empty()) {
+                        o.memLatency = ml;
+                        addPart("mem", ml);
+                    }
+                    if (!l2Lats.empty()) {
+                        o.l2Latency = l2;
+                        addPart("l2", l2);
+                    }
+                    if (!regSizes.empty()) {
+                        o.physRegsPerFile = static_cast<int>(rg);
+                        addPart("regs", rg);
+                    }
+                    if (!iqSizes.empty()) {
+                        o.iqSize = static_cast<int>(iq);
+                        addPart("iq", iq);
+                    }
+                    if (!o.label.empty())
+                        spec.configs.push_back(std::move(o));
+                }
+            }
+        }
+    }
+
+    SweepRunner runner(std::move(spec), jobs);
+    const SweepResults results = runner.run();
+    return emitOutput(sink->render(results), outPath);
 }
 
 } // anonymous namespace
@@ -113,10 +420,14 @@ splitCommas(const std::string &s)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return sweepMain(argc - 2, argv + 2);
+
     std::vector<std::string> workload = {"gzip", "twolf"};
     PolicyKind policy = PolicyKind::Dcra;
     std::uint64_t commits = 100'000;
     std::uint64_t warmup = 10'000;
+    bool jsonOut = false;
     SimConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -150,6 +461,8 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--perfect-dcache") {
             cfg.mem.perfectDcache = true;
+        } else if (arg == "--json") {
+            jsonOut = true;
         } else if (arg == "--list-benchmarks") {
             for (const auto &b : allBenchNames()) {
                 const BenchProfile &p = benchProfile(b);
@@ -178,6 +491,26 @@ main(int argc, char **argv)
             usage();
             return 1;
         }
+    }
+
+    if (!validateBenches(workload))
+        return 1;
+
+    if (jsonOut) {
+        // A single run is a one-job sweep; the runner gives it the
+        // exact same JSON schema a sweep emits.
+        SweepSpec spec;
+        spec.name = "cli-run";
+        spec.base = cfg;
+        spec.commits = commits;
+        spec.warmup = warmup;
+        spec.maxCycles = 100'000'000;
+        spec.computeHmean = false;
+        spec.workloads = {adHocWorkload(workload)};
+        spec.policies = {policy};
+        SweepRunner runner(std::move(spec), 1);
+        const SweepResults results = runner.run();
+        return emitOutput(JsonSink().render(results), "");
     }
 
     Simulator sim(cfg, workload, policy);
