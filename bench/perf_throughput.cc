@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many simulated cycles and
+ * committed instructions per wall-clock second the simulator itself
+ * delivers. This is the host-performance counterpart of the paper
+ * figures — it measures the simulator, not the simulated machine —
+ * and exists so every perf-focused PR records before/after numbers
+ * in BENCH_perf.json (schema smtsim-perf-v1).
+ *
+ * Representative 1/2/4-thread mixes run under the five headline
+ * policies of the paper's evaluation. Metrics per run:
+ *
+ *   mcycles_per_sec  simulated Mcycles per wall second
+ *   mips             committed (correct-path) M instructions per
+ *                    wall second
+ *
+ * Usage:
+ *   bench_perf_throughput [--quick] [--commits N] [--reps N]
+ *                         [--label S] [--output FILE]
+ *                         [--baseline FILE]
+ *
+ * --reps N runs every (mix, policy) cell N times and keeps the
+ * fastest repetition (the simulated work is deterministic, so the
+ * minimum wall time is the cleanest estimate of the simulator's own
+ * cost on a shared host). --baseline FILE embeds a previously
+ * written flat report as the "before" half of a comparison document
+ * and reports speedup_4t, the ratio of aggregate 4-thread
+ * mcycles_per_sec values. The tool exits nonzero if any run's
+ * throughput is absent or zero, which is the only gating condition
+ * of the CI perf-smoke job.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace smt;
+
+struct Mix
+{
+    const char *name;
+    std::vector<std::string> benches;
+};
+
+const std::vector<Mix> &
+mixes()
+{
+    // One cell per thread count; the 4-thread cell is a MIX-class
+    // workload (ILP + memory-bound threads), where long-latency
+    // misses keep the issue queues occupied — the exact regime the
+    // issue stage's cost model matters most in.
+    static const std::vector<Mix> m = {
+        {"1T", {"gzip"}},
+        {"2T", {"gzip", "mcf"}},
+        {"4T", {"gzip", "mcf", "art", "crafty"}},
+    };
+    return m;
+}
+
+const std::vector<PolicyKind> &
+policies()
+{
+    static const std::vector<PolicyKind> p = {
+        PolicyKind::Icount, PolicyKind::Flush, PolicyKind::FlushPp,
+        PolicyKind::Sra, PolicyKind::Dcra};
+    return p;
+}
+
+struct RunRecord
+{
+    std::string mix;
+    std::string benches;
+    int threads = 0;
+    std::string policy;
+    std::uint64_t simCycles = 0;
+    std::uint64_t simInsts = 0;
+    double wallSeconds = 0.0;
+    double mcyclesPerSec = 0.0;
+    double mips = 0.0;
+};
+
+RunRecord
+measure(const Mix &mix, PolicyKind policy, std::uint64_t commits,
+        int reps)
+{
+    // Deterministic work (paper baseline, default seed) repeated
+    // reps times; the fastest repetition is reported.
+    double bestWall = 0.0;
+    SimResult r;
+    for (int i = 0; i < reps; ++i) {
+        SimConfig cfg;
+        Simulator sim(cfg, mix.benches, policy);
+        const auto t0 = std::chrono::steady_clock::now();
+        SimResult cur = sim.run(commits, 500'000'000);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (i == 0 || wall < bestWall) {
+            bestWall = wall;
+            r = std::move(cur);
+        }
+    }
+
+    RunRecord rec;
+    rec.mix = mix.name;
+    for (const std::string &b : mix.benches) {
+        if (!rec.benches.empty())
+            rec.benches += '+';
+        rec.benches += b;
+    }
+    rec.threads = static_cast<int>(mix.benches.size());
+    rec.policy = policyKindName(policy);
+    rec.simCycles = r.cycles;
+    for (const ThreadResult &t : r.threads)
+        rec.simInsts += t.committed;
+    rec.wallSeconds = bestWall;
+    if (rec.wallSeconds > 0.0) {
+        rec.mcyclesPerSec = static_cast<double>(rec.simCycles) /
+            rec.wallSeconds / 1e6;
+        rec.mips = static_cast<double>(rec.simInsts) /
+            rec.wallSeconds / 1e6;
+    }
+    return rec;
+}
+
+/** Render the flat (single-build) report. */
+std::string
+renderFlat(const std::vector<RunRecord> &runs,
+           const std::string &label, bool quick,
+           std::uint64_t commits, double agg4t)
+{
+    std::string out;
+    char buf[512];
+    auto add = [&out, &buf](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+    add("{\n  \"schema\": \"smtsim-perf-v1\",\n");
+    add("  \"label\": \"%s\",\n", label.c_str());
+    add("  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+    add("  \"commits\": %llu,\n",
+        static_cast<unsigned long long>(commits));
+    add("  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunRecord &r = runs[i];
+        add("    {\"mix\": \"%s\", \"benches\": \"%s\", "
+            "\"threads\": %d, \"policy\": \"%s\", "
+            "\"sim_cycles\": %llu, \"sim_insts\": %llu, "
+            "\"wall_seconds\": %.6f, \"mcycles_per_sec\": %.3f, "
+            "\"mips\": %.3f}%s\n",
+            r.mix.c_str(), r.benches.c_str(), r.threads,
+            r.policy.c_str(),
+            static_cast<unsigned long long>(r.simCycles),
+            static_cast<unsigned long long>(r.simInsts),
+            r.wallSeconds, r.mcyclesPerSec, r.mips,
+            i + 1 < runs.size() ? "," : "");
+    }
+    add("  ],\n");
+    add("  \"mcycles_per_sec_4t\": %.3f\n}\n", agg4t);
+    return out;
+}
+
+/**
+ * Pull "mcycles_per_sec_4t": <number> out of a previously written
+ * report without a JSON parser; the key is unique in the documents
+ * this tool writes.
+ */
+double
+extract4t(const std::string &text)
+{
+    const char *key = "\"mcycles_per_sec_4t\":";
+    const std::size_t pos = text.find(key);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key),
+                       nullptr);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        std::fprintf(stderr,
+                     "perf_throughput: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::uint64_t commits = 0;
+    int reps = 1;
+    std::string label = "smtsim";
+    std::string outPath;
+    std::string baselinePath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--commits") {
+            commits = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--reps") {
+            reps = static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (reps < 1) {
+                std::fprintf(stderr, "--reps wants N >= 1\n");
+                return 1;
+            }
+        } else if (arg == "--label") {
+            label = next();
+        } else if (arg == "--output") {
+            outPath = next();
+        } else if (arg == "--baseline") {
+            baselinePath = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: bench_perf_throughput [--quick] "
+                "[--commits N] [--reps N] [--label S]\n"
+                "       [--output FILE] [--baseline FILE]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (commits == 0)
+        commits = quick ? 8'000 : 60'000;
+
+    std::vector<RunRecord> runs;
+    std::uint64_t cycles4t = 0;
+    double wall4t = 0.0;
+    bool anyZero = false;
+    for (const Mix &mix : mixes()) {
+        for (const PolicyKind pol : policies()) {
+            const RunRecord rec = measure(mix, pol, commits, reps);
+            std::fprintf(stderr,
+                         "%-3s %-11s %9.3f Mcycles/s %9.3f MIPS "
+                         "(%llu cycles, %.3fs)\n",
+                         rec.mix.c_str(), rec.policy.c_str(),
+                         rec.mcyclesPerSec, rec.mips,
+                         static_cast<unsigned long long>(
+                             rec.simCycles),
+                         rec.wallSeconds);
+            if (rec.mcyclesPerSec <= 0.0)
+                anyZero = true;
+            if (rec.threads == 4) {
+                cycles4t += rec.simCycles;
+                wall4t += rec.wallSeconds;
+            }
+            runs.push_back(rec);
+        }
+    }
+    const double agg4t = wall4t > 0.0
+        ? static_cast<double>(cycles4t) / wall4t / 1e6
+        : 0.0;
+
+    const std::string flat =
+        renderFlat(runs, label, quick, commits, agg4t);
+
+    std::string doc;
+    if (!baselinePath.empty()) {
+        const std::string before = readFile(baselinePath);
+        const double before4t = extract4t(before);
+        const double speedup =
+            before4t > 0.0 ? agg4t / before4t : 0.0;
+        doc = "{\n\"schema\": \"smtsim-perf-v1\",\n\"before\":\n";
+        doc += before;
+        doc += ",\n\"after\":\n";
+        doc += flat;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      ",\n\"speedup_4t\": %.3f\n}\n", speedup);
+        doc += buf;
+        std::fprintf(stderr, "speedup_4t: %.3fx (%.3f -> %.3f "
+                     "Mcycles/s)\n", speedup, before4t, agg4t);
+    } else {
+        doc = flat;
+    }
+
+    if (outPath.empty()) {
+        std::fputs(doc.c_str(), stdout);
+    } else {
+        std::FILE *f = std::fopen(outPath.c_str(), "w");
+        if (!f || std::fputs(doc.c_str(), f) < 0 ||
+            std::fclose(f) != 0) {
+            std::fprintf(stderr,
+                         "perf_throughput: failed writing '%s'\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", outPath.c_str());
+    }
+
+    if (anyZero) {
+        std::fprintf(stderr,
+                     "perf_throughput: FAIL (zero throughput)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -11,13 +11,6 @@ BranchPredictor::BranchPredictor(const BpredParams &params,
         rasStacks.emplace_back(params.rasEntries);
 }
 
-BpredSnapshot
-BranchPredictor::snapshot(ThreadID tid) const
-{
-    return {dir.history(tid), rasStacks[tid].tos(),
-            rasStacks[tid].size()};
-}
-
 BranchPrediction
 BranchPredictor::predict(ThreadID tid, const TraceInst &ti)
 {

@@ -81,8 +81,14 @@ class BranchPredictor
      */
     void reapply(ThreadID tid, const TraceInst &ti);
 
-    /** Current speculative snapshot (stored into each DynInst). */
-    BpredSnapshot snapshot(ThreadID tid) const;
+    /** Current speculative snapshot (stored into each DynInst).
+     *  Inline: taken once per fetched instruction. */
+    BpredSnapshot
+    snapshot(ThreadID tid) const
+    {
+        return {dir.history(tid), rasStacks[tid].tos(),
+                rasStacks[tid].size()};
+    }
 
     /** Access for tests. */
     Gshare &gshare() { return dir; }

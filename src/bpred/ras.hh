@@ -31,7 +31,10 @@ class Ras
     void
     push(Addr retAddr)
     {
-        tosIdx = (tosIdx + 1) % static_cast<int>(stack.size());
+        // tosIdx stays in [0, size): wrap with a compare instead of
+        // a division by the runtime capacity.
+        tosIdx = tosIdx + 1 == static_cast<int>(stack.size())
+            ? 0 : tosIdx + 1;
         stack[tosIdx] = retAddr;
         if (depth < static_cast<int>(stack.size()))
             ++depth;
@@ -42,8 +45,8 @@ class Ras
     pop()
     {
         const Addr top = stack[tosIdx];
-        tosIdx = (tosIdx + static_cast<int>(stack.size()) - 1) %
-            static_cast<int>(stack.size());
+        tosIdx = tosIdx == 0 ? static_cast<int>(stack.size()) - 1
+                             : tosIdx - 1;
         if (depth > 0)
             --depth;
         return top;

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the pow2-geometry
+ * structures (caches, TLBs): all of them precompute shift/mask
+ * constants so their per-access index math never divides.
+ */
+
+#ifndef DCRA_SMT_COMMON_BITS_HH
+#define DCRA_SMT_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace smt {
+
+/** True if x is a power of two (zero is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x && !(x & (x - 1));
+}
+
+/** log2 of a power of two (the exact shift amount). */
+constexpr int
+log2Exact(std::uint64_t x)
+{
+    int s = 0;
+    while ((std::uint64_t(1) << s) < x)
+        ++s;
+    return s;
+}
+
+} // namespace smt
+
+#endif // DCRA_SMT_COMMON_BITS_HH

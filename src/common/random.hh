@@ -91,6 +91,35 @@ class Rng
         return (next() >> 11) * 0x1.0p-53;
     }
 
+    /**
+     * Precomputed integer threshold T(p) such that
+     * uniform() < p  ⟺  (next() >> 11) < T(p)
+     * for every p in [0, 1]: uniform() is exactly x * 2^-53 for the
+     * 53-bit integer x, so x < p * 2^53 (the product is exact — a
+     * power-of-two scale only shifts the exponent) and an integer x
+     * is below a real bound iff it is below its ceiling. Hot
+     * callers with a fixed p hoist the threshold out of their loops
+     * via this helper + chanceFast().
+     */
+    static std::uint64_t
+    chanceThreshold(double p)
+    {
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return std::uint64_t(1) << 53;
+        return static_cast<std::uint64_t>(
+            __builtin_ceil(p * 9007199254740992.0)); // 2^53
+    }
+
+    /** Bernoulli trial against a chanceThreshold() value; consumes
+     *  exactly one next(), like chance(). */
+    bool
+    chanceFast(std::uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
+    }
+
     /** Bernoulli trial with success probability p. */
     bool
     chance(double p)
@@ -113,6 +142,25 @@ class Rng
             return 64;
         std::uint64_t n = 0;
         while (n < 64 && !chance(p))
+            ++n;
+        return n;
+    }
+
+    /**
+     * geometric(p) with the trial threshold precomputed via
+     * chanceThreshold(p); bit-identical sample sequence, no double
+     * math in the loop. p is still needed for the degenerate cases,
+     * which consume no randomness.
+     */
+    std::uint64_t
+    geometricFast(double p, std::uint64_t threshold)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return 64;
+        std::uint64_t n = 0;
+        while (n < 64 && !chanceFast(threshold))
             ++n;
         return n;
     }

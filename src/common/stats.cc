@@ -18,15 +18,6 @@ Histogram::Histogram(std::size_t nbuckets)
     SMT_ASSERT(nbuckets > 0, "histogram needs at least one bucket");
 }
 
-void
-Histogram::sample(std::uint64_t v)
-{
-    const std::size_t idx =
-        std::min<std::uint64_t>(v, counts.size() - 1);
-    ++counts[idx];
-    ++total;
-}
-
 double
 Histogram::mean() const
 {

@@ -61,8 +61,17 @@ class Histogram
     /** @param nbuckets number of buckets, one per integer value. */
     explicit Histogram(std::size_t nbuckets);
 
-    /** Record one integer sample. */
-    void sample(std::uint64_t v);
+    /** Record one integer sample. Inline: sampled every cycle by
+     *  the run loop's MLP metric. */
+    void
+    sample(std::uint64_t v)
+    {
+        const std::size_t idx =
+            v < counts.size() ? static_cast<std::size_t>(v)
+                              : counts.size() - 1;
+        ++counts[idx];
+        ++total;
+    }
 
     /** Count in one bucket. */
     std::uint64_t bucket(std::size_t i) const { return counts.at(i); }

@@ -9,6 +9,7 @@
 #define DCRA_SMT_CORE_DYN_INST_HH
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "bpred/predictor.hh"
@@ -25,16 +26,34 @@ using InstHandle = std::uint32_t;
 constexpr InstHandle invalidInst = ~InstHandle(0);
 
 /**
+ * Encoded reference into the wakeup consumer lists: either a wait
+ * node ((handle << 1) | sourceSlot) or, in waitPrev only, a list
+ * head (see WakeupTable). Nodes are intrusive so the lists never
+ * allocate.
+ */
+using WaitLink = std::uint32_t;
+
+/** Sentinel for "no link" / "slot not subscribed". */
+constexpr WaitLink invalidWaitLink = ~WaitLink(0);
+
+/**
  * One in-flight instruction. Reset to a default-constructed state on
- * pool allocation.
+ * pool allocation. Fields are grouped by size (8-byte, then 4-byte,
+ * then flags) so the record — copied on every allocation and walked
+ * by every stage — carries no interior padding.
  */
 struct DynInst
 {
     TraceInst ti;                 //!< static trace record
+
     InstSeqNum seq = 0;           //!< global age
     std::uint64_t traceIdx = ~0ull; //!< correct-path trace position
+    Cycle fetchCycle = 0;
+    Cycle readyCycle = 0;         //!< completion, valid once issued
+    Addr predTarget = 0;          //!< predicted branch target
+    std::uint64_t iqStamp = 0;    //!< issue-queue insertion age
+
     ThreadID tid = invalidThread;
-    bool wrongPath = false;
 
     /** @name Rename state */
     /** @{ */
@@ -44,26 +63,36 @@ struct DynInst
     PhysRegId prevMap = invalidPhysReg;
     /** @} */
 
-    /** @name Pipeline status */
+    /** @name Issue-wakeup state (kept by Pipeline + WakeupTable) */
     /** @{ */
+    std::uint32_t iqSlot = 0;   //!< slot in the unordered IssueQueue
+    /** Intrusive consumer-list links, one pair per source slot.
+     *  waitPrev == invalidWaitLink means "slot not subscribed". */
+    WaitLink waitNext[2] = {invalidWaitLink, invalidWaitLink};
+    WaitLink waitPrev[2] = {invalidWaitLink, invalidWaitLink};
+    /** @} */
+
+    /** @name Same-dword store chain (stores only; see StoreSet) */
+    /** @{ */
+    InstHandle storePrev = invalidInst; //!< next-older, same dword
+    InstHandle storeNext = invalidInst; //!< next-younger, same dword
+    /** @} */
+
+    BpredSnapshot snap;           //!< predictor state before fetch
+
+    /** @name Status flags */
+    /** @{ */
+    bool wrongPath = false;
     bool inIQ = false;
     bool issued = false;
     bool done = false;
     bool squashed = false;
-    Cycle fetchCycle = 0;
-    Cycle readyCycle = 0;         //!< completion, valid once issued
-    /** @} */
-
-    /** @name Branch state */
-    /** @{ */
     bool predTaken = false;
-    Addr predTarget = 0;
     bool mispredicted = false;
-    BpredSnapshot snap;           //!< predictor state before fetch
+    bool inReadyList = false;    //!< on its queue's ready list
+    std::uint8_t memLevel = 0;   //!< load service level once issued
+    std::uint8_t pendingOps = 0; //!< sources still awaited
     /** @} */
-
-    /** Service level of a load once it accessed the hierarchy. */
-    std::uint8_t memLevel = 0;
 
     /** True if the destination register is floating point. */
     bool
@@ -88,6 +117,17 @@ class InstPool
             freeList.push_back(static_cast<InstHandle>(i - 1));
     }
 
+    /**
+     * The reset in alloc() is one trivial copy of a statically
+     * initialized blank record; these guards keep DynInst
+     * memcpy-able so the pool can never silently grow heap traffic
+     * or per-record destructor work.
+     */
+    static_assert(std::is_trivially_copyable<DynInst>::value,
+                  "DynInst must stay trivially copyable");
+    static_assert(std::is_trivially_destructible<DynInst>::value,
+                  "DynInst must stay trivially destructible");
+
     /** Allocate a cleared instruction record. */
     InstHandle
     alloc()
@@ -96,7 +136,8 @@ class InstPool
                    slab.size());
         const InstHandle h = freeList.back();
         freeList.pop_back();
-        slab[h] = DynInst{};
+        static const DynInst blank{};
+        slab[h] = blank;
         return h;
     }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-capacity ring of instruction handles. The pipeline's
+ * per-thread fetch queue and store list are strictly bounded FIFOs
+ * (fetchQueueSize and ROB size respectively) touched on every
+ * fetched instruction; a power-of-two ring replaces std::deque's
+ * chunked bookkeeping with two indices and a mask, with no
+ * allocation after construction.
+ */
+
+#ifndef DCRA_SMT_CORE_HANDLE_RING_HH
+#define DCRA_SMT_CORE_HANDLE_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace smt {
+
+/**
+ * Bounded double-ended FIFO of InstHandles (indices monotonically
+ * increase; head pops at commit/rename, tail pops at squash).
+ */
+class HandleRing
+{
+  public:
+    HandleRing() = default;
+
+    /** Size the ring for at least `capacity` entries. */
+    void
+    init(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf.assign(cap, invalidInst);
+        mask = cap - 1;
+        head = tail = 0;
+    }
+
+    bool empty() const { return head == tail; }
+
+    std::size_t size() const { return tail - head; }
+
+    /** Append a handle. @pre size() < capacity. */
+    void
+    push_back(InstHandle h)
+    {
+        SMT_ASSERT(size() <= mask, "HandleRing overflow");
+        buf[tail++ & mask] = h;
+    }
+
+    /** Oldest entry. @pre !empty(). */
+    InstHandle
+    front() const
+    {
+        SMT_ASSERT(!empty(), "front of empty HandleRing");
+        return buf[head & mask];
+    }
+
+    /** Youngest entry. @pre !empty(). */
+    InstHandle
+    back() const
+    {
+        SMT_ASSERT(!empty(), "back of empty HandleRing");
+        return buf[(tail - 1) & mask];
+    }
+
+    /** Drop the oldest entry. @pre !empty(). */
+    void
+    pop_front()
+    {
+        SMT_ASSERT(!empty(), "pop_front of empty HandleRing");
+        ++head;
+    }
+
+    /** Drop the youngest entry. @pre !empty(). */
+    void
+    pop_back()
+    {
+        SMT_ASSERT(!empty(), "pop_back of empty HandleRing");
+        --tail;
+    }
+
+    /** The i-th oldest entry. @pre i < size(). */
+    InstHandle
+    at(std::size_t i) const
+    {
+        SMT_ASSERT(i < size(), "HandleRing index out of range");
+        return buf[(head + i) & mask];
+    }
+
+    void clear() { head = tail = 0; }
+
+  private:
+    std::vector<InstHandle> buf;
+    std::size_t mask = 0;
+    std::size_t head = 0; //!< index of the oldest entry
+    std::size_t tail = 0; //!< one past the youngest entry
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_HANDLE_RING_HH

@@ -1,14 +1,18 @@
 /**
  * @file
- * One issue queue (int, fp or load/store). Entries are InstHandles
- * kept in insertion (age) order; the issue stage scans oldest-first
- * and removes what it issues, squash removes by handle.
+ * One issue queue (int, fp or load/store). Since the event-driven
+ * wakeup redesign the queue no longer carries age information — age
+ * order lives in the pipeline's per-queue ready lists, keyed by
+ * DynInst::iqStamp — so the slot array is unordered and both insert
+ * and removal are O(1): removal swaps the last entry into the freed
+ * slot and reports it so the caller can update that instruction's
+ * recorded iqSlot.
  */
 
 #ifndef DCRA_SMT_CORE_ISSUE_QUEUE_HH
 #define DCRA_SMT_CORE_ISSUE_QUEUE_HH
 
-#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/logging.hh"
@@ -17,7 +21,7 @@
 namespace smt {
 
 /**
- * Bounded, age-ordered instruction queue.
+ * Bounded, unordered instruction queue with O(1) slot removal.
  */
 class IssueQueue
 {
@@ -39,34 +43,44 @@ class IssueQueue
     /** Live entries. */
     int size() const { return static_cast<int>(slots.size()); }
 
-    /** Insert a dispatched instruction. @pre !full(). */
-    void
+    /**
+     * Insert a dispatched instruction. @pre !full().
+     * @return the slot index, to be stored in the instruction's
+     *         iqSlot for O(1) removal.
+     */
+    std::uint32_t
     insert(InstHandle h)
     {
         SMT_ASSERT(!full(), "issue queue overflow");
         slots.push_back(h);
+        return static_cast<std::uint32_t>(slots.size() - 1);
     }
 
-    /** Remove a specific instruction (squash); preserves order. */
-    void
-    remove(InstHandle h)
+    /**
+     * Remove the entry in a slot (issue or squash) by swapping the
+     * last entry into the hole.
+     *
+     * @param slot slot index recorded at insert.
+     * @param h the handle expected there (cross-checked).
+     * @return the handle that moved into `slot`, or invalidInst if
+     *         the removed entry was the last one; the caller must
+     *         update the moved instruction's iqSlot.
+     */
+    InstHandle
+    removeSlot(std::uint32_t slot, InstHandle h)
     {
-        auto it = std::find(slots.begin(), slots.end(), h);
-        SMT_ASSERT(it != slots.end(), "remove of absent instruction");
-        slots.erase(it);
+        SMT_ASSERT(slot < slots.size(), "removeSlot out of range");
+        SMT_ASSERT(slots[slot] == h, "slot/handle mismatch");
+        const InstHandle last = slots.back();
+        slots.pop_back();
+        if (last == h)
+            return invalidInst;
+        slots[slot] = last;
+        return last;
     }
 
-    /** Age-ordered entries; issue stage erases via removeAt(). */
+    /** Live entries, in no particular order (audit/tests). */
     const std::vector<InstHandle> &entries() const { return slots; }
-
-    /** Remove by position (issue stage); preserves order. */
-    void
-    removeAt(std::size_t idx)
-    {
-        SMT_ASSERT(idx < slots.size(), "removeAt out of range");
-        slots.erase(slots.begin() +
-                    static_cast<std::ptrdiff_t>(idx));
-    }
 
     /** Capacity. */
     int capacity() const { return cap; }

@@ -29,11 +29,12 @@ Pipeline::Pipeline(const SmtConfig &cfg_, MemorySystem &mem_,
       mem(mem_),
       bpred(bpred_),
       policy(policy_),
-      pool(poolSize),
+      pool(poolCapacity(cfg_)),
       regFiles(cfg.physRegsPerFile, cfg.numThreads),
       robBuf(cfg.robSize, cfg.numThreads),
       rtracker(cfg.numThreads),
       fuPool(cfg),
+      wakeup(cfg.physRegsPerFile),
       wheel(wheelSize)
 {
     cfg.validate();
@@ -41,21 +42,38 @@ Pipeline::Pipeline(const SmtConfig &cfg_, MemorySystem &mem_,
                "got %zu programs for %d threads", programs.size(),
                cfg.numThreads);
 
-    for (int q = 0; q < numQueueClasses; ++q)
+    for (int q = 0; q < numQueueClasses; ++q) {
         iqs.emplace_back(cfg.iqSize[q]);
+        readyLists[q].v.reserve(
+            static_cast<std::size_t>(cfg.iqSize[q]));
+    }
+    fetchCands.reserve(static_cast<std::size_t>(cfg.numThreads));
 
     threads.resize(static_cast<std::size_t>(cfg.numThreads));
     for (int t = 0; t < cfg.numThreads; ++t) {
         ThreadState &ts = threads[t];
+        ts.fetchQ.init(static_cast<std::size_t>(cfg.fetchQueueSize));
+        ts.storeList.init(static_cast<std::size_t>(cfg.robSize));
+        ts.storeSet.init(static_cast<std::size_t>(cfg.robSize));
         SMT_ASSERT(programs[t].trace && programs[t].profile,
                    "thread %d has no program", t);
         ts.trace = programs[t].trace;
         ts.prof = programs[t].profile;
+        ts.wpSynth.init(*ts.prof);
         ts.addrBase = static_cast<Addr>(t) * threadAddrStride;
         ts.fetchPc = ts.trace->peek().pc + ts.addrBase;
     }
 
     policy.bind({&cfg, &rtracker, &mem});
+
+    // Rename-stage fast-path flags: most policies never veto
+    // allocation and most configurations set no per-thread caps, so
+    // those per-dispatch checks are hoisted to one bool each.
+    policyGatesAlloc = policy.gatesAllocation();
+    policyEvents = policy.eventMask();
+    anyResourceCap = false;
+    for (int r = 0; r < NumResourceTypes; ++r)
+        anyResourceCap = anyResourceCap || cfg.resourceCap[r] >= 0;
 }
 
 void
@@ -76,22 +94,100 @@ Pipeline::auditInvariants() const
 {
     // Per-thread occupancy of each issue queue must match the
     // tracker's counters, and every IQ resident must be live state.
+    // Since the wakeup redesign each resident must additionally be
+    // in exactly one place: on its queue's ready list with all
+    // operands ready, or subscribed to one consumer list per
+    // missing operand.
     int iqOcc[numQueueClasses][maxThreads] = {};
+    int totalWaitLinks = 0;
     for (int q = 0; q < numQueueClasses; ++q) {
-        for (const InstHandle h : iqs[q].entries()) {
+        int onReadyList = 0;
+        for (std::size_t slot = 0; slot < iqs[q].entries().size();
+             ++slot) {
+            const InstHandle h = iqs[q].entries()[slot];
             const DynInst &d = pool[h];
             SMT_ASSERT(d.inIQ && !d.issued && !d.squashed,
                        "IQ resident in wrong state");
             SMT_ASSERT(static_cast<int>(queueClassOf(d.ti.op)) == q,
                        "instruction in wrong queue");
+            SMT_ASSERT(d.iqSlot == slot, "iqSlot out of sync");
+            const int links =
+                (d.waitPrev[0] != invalidWaitLink ? 1 : 0) +
+                (d.waitPrev[1] != invalidWaitLink ? 1 : 0);
+            if (d.inReadyList) {
+                SMT_ASSERT(d.pendingOps == 0 && links == 0,
+                           "ready entry still subscribed");
+                SMT_ASSERT(operandsReady(d),
+                           "ready entry with missing operands");
+                ++onReadyList;
+            } else {
+                SMT_ASSERT(d.pendingOps >= 1 && d.pendingOps <= 2,
+                           "waiting entry with bad pendingOps");
+                SMT_ASSERT(links == d.pendingOps,
+                           "wait links disagree with pendingOps");
+                SMT_ASSERT(!operandsReady(d),
+                           "waiting entry though operands ready");
+                totalWaitLinks += links;
+            }
             ++iqOcc[q][d.tid];
         }
+
+        // Ready list: a subset of this queue, strictly age-ordered.
+        SMT_ASSERT(onReadyList ==
+                   static_cast<int>(readyLists[q].size()),
+                   "ready-list size mismatch q=%d", q);
+        SMT_ASSERT(readyLists[q].head <= readyLists[q].v.size(),
+                   "ready-list head out of range");
+        std::uint64_t prevStamp = 0;
+        for (std::size_t i = readyLists[q].head;
+             i < readyLists[q].v.size(); ++i) {
+            const ReadyEnt &ent = readyLists[q].v[i];
+            const DynInst &d = pool[ent.h];
+            SMT_ASSERT(d.inIQ && d.inReadyList,
+                       "ready-list entry not an IQ resident");
+            SMT_ASSERT(static_cast<int>(queueClassOf(d.ti.op)) == q,
+                       "ready-list entry in wrong queue");
+            SMT_ASSERT(ent.stamp == d.iqStamp,
+                       "ready-list stamp out of sync");
+            SMT_ASSERT(d.iqStamp > prevStamp,
+                       "ready list out of age order");
+            prevStamp = d.iqStamp;
+        }
     }
+
+    // Consumer lists: every wait node belongs to a live waiting IQ
+    // entry, hangs on the register that entry actually reads, and
+    // that register is still not ready. Node totals must match the
+    // per-entry subscription counts (nothing leaked, nothing lost).
+    int chainNodes = 0;
+    for (int f = 0; f < 2; ++f) {
+        for (PhysRegId r = 0; r < regFiles.physPerFile(); ++r) {
+            for (WaitLink link = wakeup.headOf(f != 0, r);
+                 link != invalidWaitLink;) {
+                const InstHandle h = WakeupTable::linkInst(link);
+                const int slot = WakeupTable::linkSlot(link);
+                const DynInst &d = pool[h];
+                SMT_ASSERT(d.inIQ && !d.inReadyList && !d.squashed,
+                           "consumer-list node in wrong state");
+                SMT_ASSERT(!regFiles.ready(r, f != 0),
+                           "waiter on a ready register");
+                const PhysRegId src = slot ? d.psrc2 : d.psrc1;
+                SMT_ASSERT(src == r,
+                           "consumer list hung on wrong register");
+                ++chainNodes;
+                link = d.waitNext[slot];
+            }
+        }
+    }
+    SMT_ASSERT(chainNodes == totalWaitLinks,
+               "consumer-list nodes (%d) != subscriptions (%d)",
+               chainNodes, totalWaitLinks);
     int regOcc[2][maxThreads] = {};
     int robPerThread[maxThreads] = {};
     int preIssue[maxThreads] = {};
     for (int t = 0; t < cfg.numThreads; ++t) {
-        for (const InstHandle h : robBuf.list(t)) {
+        for (std::size_t i = 0; i < robBuf.list(t).size(); ++i) {
+            const InstHandle h = robBuf.list(t).at(i);
             const DynInst &d = pool[h];
             SMT_ASSERT(d.tid == t, "ROB entry on wrong list");
             SMT_ASSERT(!d.squashed, "squashed entry still in ROB");
@@ -101,8 +197,9 @@ Pipeline::auditInvariants() const
             if (d.inIQ)
                 ++preIssue[t];
         }
-        for (const InstHandle h : threads[t].fetchQ) {
-            SMT_ASSERT(pool[h].tid == t, "fetchQ entry wrong tid");
+        for (std::size_t i = 0; i < threads[t].fetchQ.size(); ++i) {
+            SMT_ASSERT(pool[threads[t].fetchQ.at(i)].tid == t,
+                       "fetchQ entry wrong tid");
             ++preIssue[t];
         }
     }
@@ -148,6 +245,10 @@ void
 Pipeline::tick()
 {
     ++cycle;
+    if (++rrThread >= cfg.numThreads)
+        rrThread = 0;
+    if (++rrQueue >= numQueueClasses)
+        rrQueue = 0;
     pstats.cycles = cycle - statsStartCycle;
 
     mem.tick(cycle);
@@ -170,8 +271,10 @@ Pipeline::commitStage()
 {
     int width = cfg.commitWidth;
     for (int k = 0; k < cfg.numThreads && width > 0; ++k) {
-        const ThreadID t =
-            static_cast<ThreadID>((cycle + k) % cfg.numThreads);
+        int rot = rrThread + k;
+        if (rot >= cfg.numThreads)
+            rot -= cfg.numThreads;
+        const ThreadID t = static_cast<ThreadID>(rot);
         ThreadState &ts = threads[t];
         while (width > 0 && !robBuf.empty(t)) {
             const InstHandle h = robBuf.head(t);
@@ -189,6 +292,7 @@ Pipeline::commitStage()
                            ts.storeList.front() == h,
                            "store list out of sync");
                 ts.storeList.pop_front();
+                storeChainUnlink(ts, h, /*oldest=*/true);
             }
             if (d.pdst != invalidPhysReg) {
                 regFiles.release(d.prevMap, d.dstFp());
@@ -201,7 +305,8 @@ Pipeline::commitStage()
             robBuf.popHead(t);
             pool.free(h);
             rtracker.commitInc(t);
-            policy.onCommit(t);
+            if (policyEvents & EvCommit)
+                policy.onCommit(t);
             ++pstats.committed[t];
             if ((rtracker.committed(t) & 1023u) == 0)
                 pstats.commitMilestones[t].push_back(
@@ -226,9 +331,16 @@ Pipeline::writebackStage()
             continue;
         }
         d.done = true;
-        if (d.pdst != invalidPhysReg)
+        if (d.pdst != invalidPhysReg) {
             regFiles.setReady(d.pdst, d.dstFp());
-        if (isLoad(d.ti.op))
+            // Event-driven wakeup: dependents whose last missing
+            // operand this is move to their queue's ready list now,
+            // so they can issue this very cycle — exactly when the
+            // old full-queue poll would have seen them ready.
+            wakeup.wake(pool, d.dstFp(), d.pdst,
+                        [this](InstHandle c) { enqueueReady(c); });
+        }
+        if ((policyEvents & EvLoadComplete) && isLoad(d.ti.op))
             policy.onLoadComplete(d.tid, d.seq);
 
         if (isBranch(d.ti.op) && !d.wrongPath) {
@@ -274,15 +386,22 @@ Pipeline::operandsReady(const DynInst &d) const
 InstHandle
 Pipeline::findForwardingStore(const DynInst &load) const
 {
+    // Only stores to the load's own dword can forward, so walk that
+    // dword's in-flight chain instead of the whole store list:
+    // youngest-first, skip stores younger than the load, return the
+    // youngest completed one (an incomplete older store does not
+    // block an even older completed one, matching the original
+    // storeList scan).
     const ThreadState &ts = threads[load.tid];
-    const Addr dword = load.ti.effAddr >> 3;
-    for (auto it = ts.storeList.rbegin(); it != ts.storeList.rend();
-         ++it) {
-        const DynInst &st = pool[*it];
+    if (ts.storeList.empty())
+        return invalidInst; // no in-flight store: skip the probe
+    for (InstHandle s = ts.storeSet.youngest(load.ti.effAddr >> 3);
+         s != invalidInst; s = pool[s].storePrev) {
+        const DynInst &st = pool[s];
         if (st.seq >= load.seq)
             continue;
-        if (st.done && (st.ti.effAddr >> 3) == dword)
-            return *it;
+        if (st.done)
+            return s;
     }
     return invalidInst;
 }
@@ -300,23 +419,32 @@ Pipeline::pushWheel(InstHandle h, Cycle finish)
 void
 Pipeline::issueStage()
 {
+    // Event-driven issue: walk only the ready list of each queue —
+    // instructions whose operands all arrived — oldest dispatch
+    // first. The list is maintained by rename (ready at dispatch)
+    // and by the writeback wakeup, so no queue slot is polled and
+    // operandsReady() is never re-evaluated here. Entries that stay
+    // (FU exhausted, replayed load, out of budget) are compacted in
+    // place, preserving age order for the next cycle.
     fuPool.reset();
     int budget = cfg.issueWidth;
 
     for (int qo = 0; qo < numQueueClasses && budget > 0; ++qo) {
-        const int q = static_cast<int>((cycle + qo) % numQueueClasses);
+        int q = rrQueue + qo;
+        if (q >= numQueueClasses)
+            q -= numQueueClasses;
         const QueueClass qc = static_cast<QueueClass>(q);
-        IssueQueue &queue = iqs[q];
+        ReadyList &rlist = readyLists[q];
+        std::vector<ReadyEnt> &rl = rlist.v;
+        const std::size_t n = rl.size();
 
-        for (std::size_t i = 0;
-             i < queue.entries().size() && budget > 0;) {
-            const InstHandle h = queue.entries()[i];
+        replayScratch.clear();
+        std::size_t r = rlist.head;
+        while (r < n && budget > 0) {
+            const InstHandle h = rl[r].h;
             DynInst &d = pool[h];
-            SMT_ASSERT(!d.squashed && d.inIQ, "stale IQ entry");
-            if (!operandsReady(d)) {
-                ++i;
-                continue;
-            }
+            SMT_ASSERT(!d.squashed && d.inIQ && d.inReadyList,
+                       "stale ready-list entry");
             if (!fuPool.tryUse(qc))
                 break;
 
@@ -330,22 +458,26 @@ Pipeline::issueStage()
                         static_cast<std::uint8_t>(ServiceLevel::L1);
                     ++pstats.storeForwards[d.tid];
                 } else {
-                    const MemAccessResult r =
+                    const MemAccessResult res =
                         mem.dataAccess(d.tid, d.ti.effAddr, true,
                                        cycle);
-                    if (!r.accepted) {
-                        // Bank conflict or MSHRs full: replay next
-                        // cycle; the port stays consumed.
+                    if (!res.accepted) {
+                        // Bank conflict or MSHRs full: the load
+                        // stays on the ready list (same age slot)
+                        // and replays next cycle; the port stays
+                        // consumed.
                         --pstats.loads[d.tid];
-                        ++i;
+                        replayScratch.push_back(rl[r]);
+                        ++r;
                         continue;
                     }
-                    d.memLevel = static_cast<std::uint8_t>(r.level);
-                    finish = r.ready +
+                    d.memLevel = static_cast<std::uint8_t>(res.level);
+                    finish = res.ready +
                         static_cast<Cycle>(cfg.loadExtraLatency);
-                    policy.onDataAccess(d.tid, d.seq, d.ti.pc,
-                                        r.level, r.ready,
-                                        d.wrongPath);
+                    if (policyEvents & EvDataAccess)
+                        policy.onDataAccess(d.tid, d.seq, d.ti.pc,
+                                            res.level, res.ready,
+                                            d.wrongPath);
                 }
             } else {
                 if (isStore(d.ti.op))
@@ -355,12 +487,148 @@ Pipeline::issueStage()
 
             d.issued = true;
             d.inIQ = false;
+            d.inReadyList = false;
             d.readyCycle = finish;
             pushWheel(h, finish);
             rtracker.release(iqResource(qc), d.tid);
             rtracker.preIssueDec(d.tid);
-            queue.removeAt(i);
+            iqRemove(q, h);
+            ++r;
             --budget;
+        }
+        // The walk consumed an age-ordered prefix: advance head past
+        // it, sliding only the replayed loads back in front of the
+        // unwalked tail (their relative age order is unchanged).
+        if (!replayScratch.empty()) {
+            const std::size_t newHead = r - replayScratch.size();
+            std::copy(replayScratch.begin(), replayScratch.end(),
+                      rl.begin() +
+                          static_cast<std::ptrdiff_t>(newHead));
+            rlist.head = newHead;
+        } else {
+            rlist.head = r;
+        }
+        if (rlist.head == rl.size()) {
+            rl.clear();
+            rlist.head = 0;
+        } else if (rlist.head >= 256) {
+            // Bound the dead prefix so the vector never grows (or
+            // reallocates) on account of consumed entries.
+            rl.erase(rl.begin(),
+                     rl.begin() +
+                         static_cast<std::ptrdiff_t>(rlist.head));
+            rlist.head = 0;
+        }
+    }
+}
+
+int
+Pipeline::readyCount(QueueClass qc) const
+{
+    return static_cast<int>(
+        readyLists[static_cast<int>(qc)].size());
+}
+
+void
+Pipeline::enqueueReady(InstHandle h)
+{
+    DynInst &d = pool[h];
+    SMT_ASSERT(d.inIQ && !d.inReadyList && !d.issued && !d.squashed,
+               "enqueueReady in wrong state");
+    SMT_ASSERT(d.pendingOps == 0, "enqueueReady with pending ops");
+    d.inReadyList = true;
+    ReadyList &rlist =
+        readyLists[static_cast<int>(queueClassOf(d.ti.op))];
+    std::vector<ReadyEnt> &rl = rlist.v;
+    // Dispatch-time insertions carry the newest stamp; wakeups may
+    // land anywhere, so restore age order by stamp.
+    if (rlist.size() == 0 || rl.back().stamp < d.iqStamp) {
+        rl.push_back({d.iqStamp, h});
+        return;
+    }
+    const auto first =
+        rl.begin() + static_cast<std::ptrdiff_t>(rlist.head);
+    const auto it = std::upper_bound(
+        first, rl.end(), d.iqStamp,
+        [](std::uint64_t stamp, const ReadyEnt &x) {
+            return stamp < x.stamp;
+        });
+    // Wakeups carry old stamps and land near the front: when there
+    // is head slack, shifting the short prefix left costs fewer
+    // moves than shifting the whole tail right.
+    if (rlist.head > 0 && it - first <= rl.end() - it) {
+        std::move(first, it, first - 1);
+        --rlist.head;
+        *(it - 1) = {d.iqStamp, h};
+    } else {
+        rl.insert(it, {d.iqStamp, h});
+    }
+}
+
+void
+Pipeline::readyListErase(int qi, InstHandle h)
+{
+    ReadyList &rlist = readyLists[qi];
+    std::vector<ReadyEnt> &rl = rlist.v;
+    const std::uint64_t stamp = pool[h].iqStamp;
+    const auto first =
+        rl.begin() + static_cast<std::ptrdiff_t>(rlist.head);
+    const auto it = std::lower_bound(
+        first, rl.end(), stamp,
+        [](const ReadyEnt &x, std::uint64_t s) {
+            return x.stamp < s;
+        });
+    SMT_ASSERT(it != rl.end() && it->h == h,
+               "ready-list entry missing on erase");
+    // Close the hole from whichever side is shorter.
+    if (it - first < rl.end() - it) {
+        std::move_backward(first, it, it + 1);
+        ++rlist.head;
+    } else {
+        rl.erase(it);
+    }
+    pool[h].inReadyList = false;
+}
+
+void
+Pipeline::iqRemove(int qi, InstHandle h)
+{
+    const std::uint32_t slot = pool[h].iqSlot;
+    const InstHandle moved = iqs[qi].removeSlot(slot, h);
+    if (moved != invalidInst)
+        pool[moved].iqSlot = slot;
+}
+
+void
+Pipeline::storeChainUnlink(ThreadState &ts, InstHandle h,
+                           bool oldest)
+{
+    DynInst &d = pool[h];
+    const Addr dword = d.ti.effAddr >> 3;
+    if (oldest) {
+        // Commit retires the oldest in-flight store: it is the chain
+        // tail, so only a younger chain member (if any) references
+        // it; otherwise it is also the youngest and owns the map
+        // slot.
+        SMT_ASSERT(d.storePrev == invalidInst,
+                   "oldest store has an older chain member");
+        if (d.storeNext != invalidInst) {
+            pool[d.storeNext].storePrev = invalidInst;
+            d.storeNext = invalidInst;
+        } else {
+            ts.storeSet.erase(dword, h);
+        }
+    } else {
+        // Squash removes the youngest in-flight store: it owns the
+        // map slot; hand it back to the next-older chain member.
+        SMT_ASSERT(d.storeNext == invalidInst,
+                   "youngest store has a younger chain member");
+        if (d.storePrev != invalidInst) {
+            pool[d.storePrev].storeNext = invalidInst;
+            ts.storeSet.replaceYoungest(dword, h, d.storePrev);
+            d.storePrev = invalidInst;
+        } else {
+            ts.storeSet.erase(dword, h);
         }
     }
 }
@@ -392,15 +660,17 @@ Pipeline::squashAfter(ThreadID t, InstSeqNum seq)
     // Store list first: its handles must still be live to compare.
     while (!ts.storeList.empty() &&
            pool[ts.storeList.back()].seq > seq) {
+        storeChainUnlink(ts, ts.storeList.back(), /*oldest=*/false);
         ts.storeList.pop_back();
     }
 
     // Front-end buffer: strictly younger than anything renamed.
-    for (const InstHandle h : ts.fetchQ) {
+    for (std::size_t i = 0; i < ts.fetchQ.size(); ++i) {
+        const InstHandle h = ts.fetchQ.at(i);
         DynInst &d = pool[h];
         SMT_ASSERT(d.seq > seq, "fetchQ older than squash point");
         note(d);
-        if (isLoad(d.ti.op))
+        if ((policyEvents & EvLoadSquashed) && isLoad(d.ti.op))
             policy.onLoadSquashed(t, d.seq);
         rtracker.preIssueDec(t);
         ++pstats.squashed[t];
@@ -419,12 +689,20 @@ Pipeline::squashAfter(ThreadID t, InstSeqNum seq)
             rtracker.release(regResource(d.dstFp()), t);
         }
         if (d.inIQ) {
-            iqs[static_cast<int>(queueClassOf(d.ti.op))].remove(h);
+            const int qi = static_cast<int>(queueClassOf(d.ti.op));
+            iqRemove(qi, h);
+            // Unlink from the wakeup structures exactly: a waiting
+            // entry sits on one consumer list per missing operand, a
+            // ready entry sits on the ready list — never both.
+            if (d.inReadyList)
+                readyListErase(qi, h);
+            else
+                wakeup.unsubscribe(pool, h);
             rtracker.release(iqResource(queueClassOf(d.ti.op)), t);
             rtracker.preIssueDec(t);
             d.inIQ = false;
         }
-        if (isLoad(d.ti.op))
+        if ((policyEvents & EvLoadSquashed) && isLoad(d.ti.op))
             policy.onLoadSquashed(t, d.seq);
         d.squashed = true;
         robBuf.popTail(t);
@@ -478,8 +756,10 @@ Pipeline::renameStage()
 {
     int budget = cfg.renameWidth;
     for (int k = 0; k < cfg.numThreads && budget > 0; ++k) {
-        const ThreadID t =
-            static_cast<ThreadID>((cycle + k) % cfg.numThreads);
+        int rot = rrThread + k;
+        if (rot >= cfg.numThreads)
+            rot -= cfg.numThreads;
+        const ThreadID t = static_cast<ThreadID>(rot);
         ThreadState &ts = threads[t];
         while (budget > 0 && !ts.fetchQ.empty()) {
             const InstHandle h = ts.fetchQ.front();
@@ -498,13 +778,17 @@ Pipeline::renameStage()
                 break;
             if (hasDst && !regFiles.canAllocate(fp))
                 break;
-            if (capBlocked(t, iqr) ||
-                (hasDst && capBlocked(t, regResource(fp))))
+            if (anyResourceCap &&
+                (capBlocked(t, iqr) ||
+                 (hasDst && capBlocked(t, regResource(fp)))))
                 break;
-            if (!policy.allocAllowed(t, iqr))
-                break;
-            if (hasDst && !policy.allocAllowed(t, regResource(fp)))
-                break;
+            if (policyGatesAlloc) {
+                if (!policy.allocAllowed(t, iqr))
+                    break;
+                if (hasDst &&
+                    !policy.allocAllowed(t, regResource(fp)))
+                    break;
+            }
 
             d.psrc1 = d.ti.src1 != invalidArchReg
                 ? regFiles.mapping(t, d.ti.src1) : invalidPhysReg;
@@ -517,12 +801,39 @@ Pipeline::renameStage()
                 rtracker.allocate(regResource(fp), t, cycle);
             }
 
-            iqs[qi].insert(h);
+            d.iqSlot = iqs[qi].insert(h);
+            d.iqStamp = ++iqStampCounter;
             d.inIQ = true;
+            // Subscribe to each not-ready source; ready bits are
+            // monotone while the entry lives in the queue (a source
+            // can only be recycled after this instruction commits or
+            // is squashed), so a dispatch-time snapshot plus wakeup
+            // events reproduce the old per-cycle poll exactly.
+            d.pendingOps = 0;
+            if (d.psrc1 != invalidPhysReg &&
+                !regFiles.ready(d.psrc1, isFpReg(d.ti.src1))) {
+                wakeup.subscribe(pool, h, 0, isFpReg(d.ti.src1),
+                                 d.psrc1);
+                ++d.pendingOps;
+            }
+            if (d.psrc2 != invalidPhysReg &&
+                !regFiles.ready(d.psrc2, isFpReg(d.ti.src2))) {
+                wakeup.subscribe(pool, h, 1, isFpReg(d.ti.src2),
+                                 d.psrc2);
+                ++d.pendingOps;
+            }
+            if (d.pendingOps == 0)
+                enqueueReady(h);
             rtracker.allocate(iqr, t, cycle);
             robBuf.push(t, h);
-            if (isStore(d.ti.op))
+            if (isStore(d.ti.op)) {
                 ts.storeList.push_back(h);
+                const InstHandle older = ts.storeSet.pushYoungest(
+                    d.ti.effAddr >> 3, h);
+                d.storePrev = older;
+                if (older != invalidInst)
+                    pool[older].storeNext = h;
+            }
 
             ts.fetchQ.pop_front();
             --budget;
@@ -537,14 +848,12 @@ Pipeline::renameStage()
 void
 Pipeline::fetchStage()
 {
-    struct Cand
-    {
-        int prio;
-        int rr;
-        ThreadID t;
-    };
-    std::vector<Cand> cands;
-    cands.reserve(static_cast<std::size_t>(cfg.numThreads));
+    // Reusable candidate buffer, ordered by insertion sort as the
+    // candidates arrive: at most maxThreads (8) entries, and the
+    // (prio, rr) key is a total order (rr is a per-cycle permutation
+    // of the thread ids), so this selects exactly what the previous
+    // per-cycle vector + std::sort selected without allocating.
+    fetchCands.clear();
 
     for (ThreadID t = 0; t < cfg.numThreads; ++t) {
         ThreadState &ts = threads[t];
@@ -556,25 +865,27 @@ Pipeline::fetchStage()
             ++pstats.policyFetchStalls[t];
             continue;
         }
-        const int rr = static_cast<int>(
-            (static_cast<Cycle>(t) + cycle) %
-            static_cast<Cycle>(cfg.numThreads));
-        cands.push_back({policy.fetchPriority(t, cycle), rr, t});
+        int rr = static_cast<int>(t) + rrThread;
+        if (rr >= cfg.numThreads)
+            rr -= cfg.numThreads;
+        const FetchCand c{policy.fetchPriority(t, cycle), rr, t};
+        std::size_t pos = fetchCands.size();
+        while (pos > 0 &&
+               (c.prio < fetchCands[pos - 1].prio ||
+                (c.prio == fetchCands[pos - 1].prio &&
+                 c.rr < fetchCands[pos - 1].rr)))
+            --pos;
+        fetchCands.insert(
+            fetchCands.begin() + static_cast<std::ptrdiff_t>(pos),
+            c);
     }
-
-    std::sort(cands.begin(), cands.end(),
-              [](const Cand &a, const Cand &b) {
-                  if (a.prio != b.prio)
-                      return a.prio < b.prio;
-                  return a.rr < b.rr;
-              });
 
     int budget = cfg.fetchWidth;
     const int nThreads =
         std::min<int>(cfg.fetchThreadsPerCycle,
-                      static_cast<int>(cands.size()));
+                      static_cast<int>(fetchCands.size()));
     for (int i = 0; i < nThreads && budget > 0; ++i)
-        fetchFrom(cands[i].t, budget);
+        fetchFrom(fetchCands[i].t, budget);
 }
 
 void
@@ -586,30 +897,31 @@ Pipeline::fetchFrom(ThreadID t, int &budget)
     while (budget > 0 &&
            static_cast<int>(ts.fetchQ.size()) < cfg.fetchQueueSize) {
         const bool fromTrace = !ts.wrongPathMode;
-        TraceInst ti;
-        std::uint64_t traceIdx = ~0ull;
+        // Correct-path instructions are copied straight from the
+        // trace ring into the pool record after the I-side accepts
+        // the line (one copy, none on the break paths); wrong-path
+        // synthesis must still happen up front because the salt is
+        // consumed even when the line probe makes us retry.
+        TraceInst wpTi;
+        const TraceInst *src = nullptr;
+        Addr pc;
         if (fromTrace) {
-            ti = ts.trace->peek();
-            traceIdx = ts.trace->nextIndex();
-            ti.pc += ts.addrBase;
-            if (isMem(ti.op))
-                ti.effAddr += ts.addrBase;
-            if (isBranch(ti.op))
-                ti.target += ts.addrBase;
+            src = &ts.trace->peek();
+            pc = src->pc + ts.addrBase;
         } else {
-            ti = wrongPathInst(ts.fetchPc - ts.addrBase, *ts.prof,
-                               ts.wpSalt++);
-            ti.pc = ts.fetchPc;
-            if (isMem(ti.op))
-                ti.effAddr += ts.addrBase;
-            if (isBranch(ti.op))
-                ti.target += ts.addrBase;
+            wpTi = ts.wpSynth.inst(ts.fetchPc - ts.addrBase,
+                                   ts.wpSalt++);
+            wpTi.pc = ts.fetchPc;
+            if (isMem(wpTi.op))
+                wpTi.effAddr += ts.addrBase;
+            if (isBranch(wpTi.op))
+                wpTi.target += ts.addrBase;
+            pc = ts.fetchPc;
         }
 
-        const Addr line = mem.l1i().lineAddr(ti.pc);
+        const Addr line = mem.l1i().lineAddr(pc);
         if (line != curLine) {
-            const FetchAccessResult fr = mem.instFetch(t, ti.pc,
-                                                       cycle);
+            const FetchAccessResult fr = mem.instFetch(t, pc, cycle);
             if (!fr.accepted)
                 break; // I-MSHRs full, retry next cycle
             if (!fr.hit) {
@@ -621,7 +933,19 @@ Pipeline::fetchFrom(ThreadID t, int &budget)
 
         const InstHandle h = pool.alloc();
         DynInst &d = pool[h];
-        d.ti = ti;
+        std::uint64_t traceIdx = ~0ull;
+        if (fromTrace) {
+            d.ti = *src; // the ref from the peek above is still live
+            traceIdx = ts.trace->nextIndex();
+            d.ti.pc += ts.addrBase;
+            if (isMem(d.ti.op))
+                d.ti.effAddr += ts.addrBase;
+            if (isBranch(d.ti.op))
+                d.ti.target += ts.addrBase;
+        } else {
+            d.ti = wpTi;
+        }
+        const TraceInst &ti = d.ti;
         d.seq = ++seqCounter;
         d.tid = t;
         d.fetchCycle = cycle;
@@ -665,7 +989,7 @@ Pipeline::fetchFrom(ThreadID t, int &budget)
         ++pstats.fetched[t];
         if (d.wrongPath)
             ++pstats.fetchedWrongPath[t];
-        if (isLoad(ti.op))
+        if ((policyEvents & EvFetchLoad) && isLoad(ti.op))
             policy.onFetchLoad(t, d.seq, ti.pc);
         --budget;
 

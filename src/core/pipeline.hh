@@ -11,7 +11,6 @@
 #define DCRA_SMT_CORE_PIPELINE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -19,11 +18,14 @@
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
 #include "core/exec_units.hh"
+#include "core/handle_ring.hh"
 #include "core/issue_queue.hh"
 #include "core/regfile.hh"
 #include "core/resource_tracker.hh"
 #include "core/rob.hh"
 #include "core/smt_config.hh"
+#include "core/store_set.hh"
+#include "core/wakeup.hh"
 #include "mem/memory_system.hh"
 #include "policy/policy.hh"
 #include "trace/generator.hh"
@@ -155,6 +157,12 @@ class Pipeline
     {
         return threads[t].wrongPathMode;
     }
+
+    /** Instructions on one queue's ready list (wakeup tests). */
+    int readyCount(QueueClass qc) const;
+
+    /** The per-register consumer lists (wakeup tests). */
+    const WakeupTable &wakeupTable() const { return wakeup; }
     /** @} */
 
   private:
@@ -162,14 +170,29 @@ class Pipeline
     {
         TraceSource *trace = nullptr;
         const BenchProfile *prof = nullptr;
+        /** Profile-precomputed wrong-path synthesis (hot path). */
+        WrongPathSynth wpSynth;
         Addr addrBase = 0;
         bool wrongPathMode = false;
         InstSeqNum wpTriggerSeq = 0;
         Addr fetchPc = 0;
         std::uint64_t wpSalt = 0;
         Cycle fetchResumeCycle = 0;
-        std::deque<InstHandle> fetchQ;
-        std::deque<InstHandle> storeList;
+        /** Fetch buffer (bounded by fetchQueueSize) and in-flight
+         *  store FIFO (bounded by ROB residency): both touched per
+         *  instruction, so they are allocation-free rings. */
+        HandleRing fetchQ;
+        HandleRing storeList;
+
+        /**
+         * dword -> youngest in-flight store, with older same-dword
+         * stores chained behind it through DynInst::storePrev: the
+         * store-forwarding lookup touches only the stores that could
+         * actually forward instead of walking the whole storeList
+         * youngest-first. Maintained in lockstep with storeList
+         * (rename pushes, commit pops oldest, squash pops youngest).
+         */
+        StoreSet storeSet;
     };
 
     /** Result of a squash walk, for repair and trace rewind. */
@@ -181,6 +204,14 @@ class Pipeline
         std::uint64_t oldestTraceIdx = ~0ull;
         Addr oldestPc = 0;
         BpredSnapshot oldestSnap;
+    };
+
+    /** One fetch-arbitration candidate (reusable buffer below). */
+    struct FetchCand
+    {
+        int prio;
+        int rr;
+        ThreadID t;
     };
 
     void commitStage();
@@ -199,8 +230,40 @@ class Pipeline
     bool capBlocked(ThreadID t, ResourceType r) const;
     void pushWheel(InstHandle h, Cycle finish);
 
+    /** @name Event-driven issue bookkeeping */
+    /** @{ */
+    /** Insert a now-ready IQ entry into its queue's ready list,
+     *  keeping the list sorted by insertion stamp (age order). */
+    void enqueueReady(InstHandle h);
+    /** Remove a squashed entry from a ready list (stamp bsearch). */
+    void readyListErase(int qi, InstHandle h);
+    /** O(1) queue removal; patches the swapped entry's iqSlot. */
+    void iqRemove(int qi, InstHandle h);
+    /** Unlink the oldest (commit) or youngest (squash) in-flight
+     *  store from its dword chain and the StoreSet. */
+    void storeChainUnlink(ThreadState &ts, InstHandle h, bool oldest);
+    /** @} */
+
     static constexpr std::size_t wheelSize = 2048;
-    static constexpr std::size_t poolSize = 16384;
+
+    /**
+     * In-flight instruction records are bounded by ROB residency
+     * plus the per-thread fetch buffers; issued-but-squashed
+     * zombies parked in the completion wheel can transiently stack
+     * a few ROB's worth on top (flush storms under long memory
+     * latency). Sizing the pool from the configuration instead of a
+     * flat 16384 keeps the slab small enough to stay cache-resident
+     * — the pool is touched by every stage — while leaving several
+     * times the worst occupancy ever observed under stress
+     * (~1.3 x robSize). Exhaustion is a loud panic, never silent.
+     */
+    static std::size_t
+    poolCapacity(const SmtConfig &cfg)
+    {
+        return 6 * static_cast<std::size_t>(cfg.robSize) +
+            2 * static_cast<std::size_t>(cfg.numThreads) *
+            static_cast<std::size_t>(cfg.fetchQueueSize);
+    }
 
     SmtConfig cfg;
     MemorySystem &mem;
@@ -213,11 +276,75 @@ class Pipeline
     std::vector<IssueQueue> iqs;
     ResourceTracker rtracker;
     FuPool fuPool;
+    WakeupTable wakeup;
+
+    /**
+     * One ready-list entry. The insertion stamp is duplicated from
+     * the DynInst so ordering operations stay inside the (small,
+     * hot) list instead of chasing handles into the instruction
+     * pool.
+     */
+    struct ReadyEnt
+    {
+        std::uint64_t stamp;
+        InstHandle h;
+    };
+
+    /**
+     * Per-queue list of IQ entries whose operands are all ready,
+     * sorted ascending by DynInst::iqStamp so the issue walk sees
+     * exactly the order the old full-queue poll saw. Rename appends
+     * (newest stamp), writeback wakeups insert in stamp order,
+     * squash erases by stamp.
+     *
+     * `head` marks the first live entry: the issue walk consumes an
+     * age-ordered prefix (oldest first until the FUs or the budget
+     * run out), so advancing head replaces the per-cycle tail
+     * compaction — only replayed loads that must stay behind get
+     * copied, and wakeup inserts near the front can shift the short
+     * prefix into the slack instead of the whole tail right.
+     */
+    struct ReadyList
+    {
+        std::vector<ReadyEnt> v;
+        std::size_t head = 0;
+
+        std::size_t size() const { return v.size() - head; }
+    };
+
+    ReadyList readyLists[numQueueClasses];
+
+    /** Monotonic dispatch stamp backing the age order. */
+    std::uint64_t iqStampCounter = 0;
+
+    /** @name Policy fast-path flags (fixed at construction) */
+    /** @{ */
+    bool policyGatesAlloc = true; //!< policy.gatesAllocation()
+    unsigned policyEvents = EvAllEvents; //!< policy.eventMask()
+    bool anyResourceCap = false;  //!< any cfg.resourceCap[r] >= 0
+    /** @} */
 
     std::vector<ThreadState> threads;
     std::vector<std::vector<InstHandle>> wheel;
 
+    /** Reused every cycle by fetchStage (no per-cycle allocation). */
+    std::vector<FetchCand> fetchCands;
+
+    /** Rejected (replayed) loads of the current issue walk; reused
+     *  every cycle so stitching them back never allocates. */
+    std::vector<ReadyEnt> replayScratch;
+
     Cycle cycle = 0;
+
+    /**
+     * cycle % numThreads and cycle % numQueueClasses, maintained
+     * incrementally: the round-robin rotations in commit, rename,
+     * fetch and issue would otherwise each pay a 64-bit division by
+     * a runtime divisor every cycle.
+     */
+    int rrThread = 0;
+    int rrQueue = 0;
+
     Cycle statsStartCycle = 0;
     InstSeqNum seqCounter = 0;
     PipelineStats pstats;

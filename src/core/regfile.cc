@@ -39,39 +39,4 @@ RegFiles::RegFiles(int physPerFile, int numThreads)
     }
 }
 
-PhysRegId
-RegFiles::allocate(bool fp)
-{
-    SMT_ASSERT(!freeList[fp].empty(), "allocate from empty %s file",
-               fp ? "fp" : "int");
-    const PhysRegId r = freeList[fp].back();
-    freeList[fp].pop_back();
-    readyBits[fp][static_cast<std::size_t>(r)] = 0;
-    return r;
-}
-
-void
-RegFiles::release(PhysRegId r, bool fp)
-{
-    SMT_ASSERT(r >= 0 && r < physRegs, "release of bad register %d",
-               r);
-    freeList[fp].push_back(r);
-}
-
-PhysRegId
-RegFiles::mapping(ThreadID tid, ArchRegId arch) const
-{
-    SMT_ASSERT(arch >= 0 && arch < numArchRegs, "bad arch reg %d",
-               arch);
-    return rat[tid][static_cast<std::size_t>(arch)];
-}
-
-void
-RegFiles::setMapping(ThreadID tid, ArchRegId arch, PhysRegId phys)
-{
-    SMT_ASSERT(arch >= 0 && arch < numArchRegs, "bad arch reg %d",
-               arch);
-    rat[tid][static_cast<std::size_t>(arch)] = phys;
-}
-
 } // namespace smt

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "trace/trace_inst.hh"
 
@@ -44,18 +45,45 @@ class RegFiles
 
     /**
      * Pop a free physical register and mark it not-ready.
-     * @pre canAllocate(fp).
+     * @pre canAllocate(fp). Inline: rename-stage hot path.
      */
-    PhysRegId allocate(bool fp);
+    PhysRegId
+    allocate(bool fp)
+    {
+        SMT_ASSERT(!freeList[fp].empty(),
+                   "allocate from empty %s file", fp ? "fp" : "int");
+        const PhysRegId r = freeList[fp].back();
+        freeList[fp].pop_back();
+        readyBits[fp][static_cast<std::size_t>(r)] = 0;
+        return r;
+    }
 
     /** Return a physical register to the free list. */
-    void release(PhysRegId r, bool fp);
+    void
+    release(PhysRegId r, bool fp)
+    {
+        SMT_ASSERT(r >= 0 && r < physRegs,
+                   "release of bad register %d", r);
+        freeList[fp].push_back(r);
+    }
 
     /** Current mapping of a unified-space logical register. */
-    PhysRegId mapping(ThreadID tid, ArchRegId arch) const;
+    PhysRegId
+    mapping(ThreadID tid, ArchRegId arch) const
+    {
+        SMT_ASSERT(arch >= 0 && arch < numArchRegs,
+                   "bad arch reg %d", arch);
+        return rat[tid][static_cast<std::size_t>(arch)];
+    }
 
     /** Redirect a logical register to a new physical register. */
-    void setMapping(ThreadID tid, ArchRegId arch, PhysRegId phys);
+    void
+    setMapping(ThreadID tid, ArchRegId arch, PhysRegId phys)
+    {
+        SMT_ASSERT(arch >= 0 && arch < numArchRegs,
+                   "bad arch reg %d", arch);
+        rat[tid][static_cast<std::size_t>(arch)] = phys;
+    }
 
     /** Scoreboard: is the value available? */
     bool ready(PhysRegId r, bool fp) const

@@ -8,12 +8,12 @@
 #ifndef DCRA_SMT_CORE_ROB_HH
 #define DCRA_SMT_CORE_ROB_HH
 
-#include <deque>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "core/dyn_inst.hh"
+#include "core/handle_ring.hh"
 
 namespace smt {
 
@@ -31,6 +31,9 @@ class Rob
     Rob(int capacity, int numThreads)
         : cap(capacity), lists(static_cast<std::size_t>(numThreads))
     {
+        // Any single thread can hold up to the whole shared buffer.
+        for (HandleRing &l : lists)
+            l.init(static_cast<std::size_t>(capacity));
     }
 
     /** True when no entry is free. */
@@ -93,10 +96,7 @@ class Rob
     }
 
     /** In-order view of one thread's entries (oldest first). */
-    const std::deque<InstHandle> &list(ThreadID t) const
-    {
-        return lists[t];
-    }
+    const HandleRing &list(ThreadID t) const { return lists[t]; }
 
     /** Capacity. */
     int capacity() const { return cap; }
@@ -104,7 +104,7 @@ class Rob
   private:
     int cap;
     int used = 0;
-    std::vector<std::deque<InstHandle>> lists;
+    std::vector<HandleRing> lists;
 };
 
 } // namespace smt

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Dword-keyed index of a thread's in-flight stores, backing the
+ * store-forwarding lookup at load issue. The map holds only the
+ * youngest in-flight store per 8-byte dword; older same-dword
+ * stores hang off it through the intrusive DynInst::storePrev /
+ * storeNext chain, so the forwarding scan touches exactly the
+ * stores that could forward and nothing else.
+ *
+ * The table is fixed-capacity linear probing with backward-shift
+ * deletion: the population is bounded by the thread's in-flight
+ * stores (<= ROB size), so it is sized once at 4x that bound and
+ * never allocates, rehashes or leaves tombstones afterwards.
+ */
+
+#ifndef DCRA_SMT_CORE_STORE_SET_HH
+#define DCRA_SMT_CORE_STORE_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace smt {
+
+/**
+ * dword -> youngest in-flight store, for one hardware context.
+ */
+class StoreSet
+{
+  public:
+    StoreSet() = default;
+
+    /** Size for at most `maxStores` live keys (<= 1/4 load). */
+    void
+    init(std::size_t maxStores)
+    {
+        std::size_t cap = 4;
+        while (cap < 4 * maxStores)
+            cap <<= 1;
+        slots.assign(cap, Slot{});
+        mask = cap - 1;
+    }
+
+    /** Youngest in-flight store to a dword, or invalidInst. */
+    InstHandle
+    youngest(Addr dword) const
+    {
+        for (std::size_t i = home(dword);; i = (i + 1) & mask) {
+            const Slot &s = slots[i];
+            if (!s.used)
+                return invalidInst;
+            if (s.key == dword)
+                return s.val;
+        }
+    }
+
+    /**
+     * Record h as the new youngest store to a dword.
+     * @return the previous youngest (the caller links it behind h),
+     *         or invalidInst if the dword had no in-flight store.
+     */
+    InstHandle
+    pushYoungest(Addr dword, InstHandle h)
+    {
+        for (std::size_t i = home(dword);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (!s.used) {
+                SMT_ASSERT(static_cast<std::size_t>(live) + 1 <=
+                           (mask + 1) / 2,
+                           "StoreSet overfull");
+                s.used = true;
+                s.key = dword;
+                s.val = h;
+                ++live;
+                return invalidInst;
+            }
+            if (s.key == dword) {
+                const InstHandle prev = s.val;
+                s.val = h;
+                return prev;
+            }
+        }
+    }
+
+    /** Replace the youngest store of a dword (squash restores the
+     *  next-older chain member). */
+    void
+    replaceYoungest(Addr dword, InstHandle expected, InstHandle h)
+    {
+        for (std::size_t i = home(dword);; i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            SMT_ASSERT(s.used, "replace of absent dword");
+            if (s.key == dword) {
+                SMT_ASSERT(s.val == expected,
+                           "StoreSet out of sync on replace");
+                s.val = h;
+                return;
+            }
+        }
+    }
+
+    /**
+     * Remove a dword whose only in-flight store retires or is
+     * squashed. Backward-shift deletion keeps probe sequences
+     * intact without tombstones.
+     */
+    void
+    erase(Addr dword, InstHandle expected)
+    {
+        std::size_t i = home(dword);
+        for (;; i = (i + 1) & mask) {
+            SMT_ASSERT(slots[i].used, "erase of absent dword");
+            if (slots[i].key == dword)
+                break;
+        }
+        SMT_ASSERT(slots[i].val == expected,
+                   "StoreSet out of sync on erase");
+        --live;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (!slots[j].used) {
+                slots[i].used = false;
+                return;
+            }
+            const std::size_t k = home(slots[j].key);
+            // Entry j may fill the hole at i only if its home slot
+            // does not lie cyclically inside (i, j] — otherwise the
+            // move would break j's own probe sequence.
+            const bool homeInside = i <= j ? (k > i && k <= j)
+                                           : (k > i || k <= j);
+            if (!homeInside) {
+                slots[i] = slots[j];
+                i = j;
+            }
+        }
+    }
+
+    /** Live keys (audit). */
+    int size() const { return live; }
+
+  private:
+    struct Slot
+    {
+        Addr key = 0;
+        InstHandle val = invalidInst;
+        bool used = false;
+    };
+
+    std::size_t
+    home(Addr dword) const
+    {
+        // Fibonacci multiplicative hash: strided store addresses
+        // spread over the table instead of clustering.
+        return static_cast<std::size_t>(
+                   (dword * 0x9e3779b97f4a7c15ull) >> 32) &
+            mask;
+    }
+
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    int live = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_STORE_SET_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Per-physical-register consumer lists: the event-driven half of the
+ * issue stage. An instruction that dispatches with not-ready sources
+ * subscribes one wait node per missing operand; the producer's
+ * writeback walks the register's list once, and instructions whose
+ * last missing operand arrived move to the pipeline's age-ordered
+ * ready lists. The issue stage then touches only genuinely ready
+ * instructions instead of polling every issue-queue slot every
+ * cycle.
+ *
+ * Wait nodes live inside DynInst (waitNext/waitPrev, one pair per
+ * source slot), so subscribe, wake and unsubscribe are pointer-free
+ * O(1) list splices over pool indices. A node's prev link encodes
+ * either another node or the owning register's list head, which is
+ * what makes the mid-list unlink required by squash O(1) and exact.
+ */
+
+#ifndef DCRA_SMT_CORE_WAKEUP_HH
+#define DCRA_SMT_CORE_WAKEUP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace smt {
+
+/**
+ * Consumer lists for both register files. The pipeline owns one
+ * instance and keeps it consistent with RegFiles' ready bits: a list
+ * is only ever non-empty while its register is not ready, and
+ * setReady at writeback is immediately followed by wake().
+ */
+class WakeupTable
+{
+  public:
+    /** @param physPerFile registers in each file (int and fp). */
+    explicit WakeupTable(int physPerFile)
+    {
+        for (int f = 0; f < 2; ++f)
+            head[f].assign(static_cast<std::size_t>(physPerFile),
+                           invalidWaitLink);
+    }
+
+    /** Encode a wait node: instruction handle + source slot. */
+    static WaitLink
+    nodeRef(InstHandle h, int slot)
+    {
+        return (h << 1) | static_cast<WaitLink>(slot);
+    }
+
+    /** Instruction of a node link. */
+    static InstHandle linkInst(WaitLink l) { return l >> 1; }
+
+    /** Source slot (0/1) of a node link. */
+    static int linkSlot(WaitLink l) { return static_cast<int>(l & 1); }
+
+    /**
+     * Enlist (h, slot) as a consumer of register r. The caller
+     * counts the subscription in the instruction's pendingOps.
+     */
+    void
+    subscribe(InstPool &pool, InstHandle h, int slot, bool fp,
+              PhysRegId r)
+    {
+        DynInst &d = pool[h];
+        SMT_ASSERT(d.waitPrev[slot] == invalidWaitLink,
+                   "double subscribe of one source slot");
+        WaitLink &hd = head[fp][static_cast<std::size_t>(r)];
+        d.waitNext[slot] = hd;
+        d.waitPrev[slot] = headRef(fp, r);
+        if (hd != invalidWaitLink)
+            pool[linkInst(hd)].waitPrev[linkSlot(hd)] =
+                nodeRef(h, slot);
+        hd = nodeRef(h, slot);
+    }
+
+    /**
+     * Producer writeback of register r: drain its consumer list,
+     * clearing every node and decrementing each waiter's pendingOps;
+     * instructions whose count hits zero are handed to onReady (the
+     * pipeline inserts them into the ready list in age order, so the
+     * drain order here does not affect determinism).
+     */
+    template <typename OnReady>
+    void
+    wake(InstPool &pool, bool fp, PhysRegId r, OnReady &&onReady)
+    {
+        WaitLink link = head[fp][static_cast<std::size_t>(r)];
+        head[fp][static_cast<std::size_t>(r)] = invalidWaitLink;
+        while (link != invalidWaitLink) {
+            const InstHandle h = linkInst(link);
+            const int slot = linkSlot(link);
+            DynInst &d = pool[h];
+            link = d.waitNext[slot];
+            d.waitNext[slot] = invalidWaitLink;
+            d.waitPrev[slot] = invalidWaitLink;
+            SMT_ASSERT(d.pendingOps > 0, "wakeup underflow");
+            if (--d.pendingOps == 0)
+                onReady(h);
+        }
+    }
+
+    /**
+     * Remove every active wait node of a squashed instruction from
+     * its consumer list(s); pendingOps drops by one per unlinked
+     * node and must reach zero (the squash contract: an IQ entry is
+     * either fully subscribed or on the ready list, never both).
+     */
+    void
+    unsubscribe(InstPool &pool, InstHandle h)
+    {
+        DynInst &d = pool[h];
+        for (int slot = 0; slot < 2; ++slot) {
+            const WaitLink prev = d.waitPrev[slot];
+            if (prev == invalidWaitLink)
+                continue;
+            const WaitLink next = d.waitNext[slot];
+            if (prev & headBit) {
+                head[(prev & fpBit) != 0]
+                    [static_cast<std::size_t>(prev & regMask)] = next;
+            } else {
+                pool[linkInst(prev)].waitNext[linkSlot(prev)] = next;
+            }
+            if (next != invalidWaitLink)
+                pool[linkInst(next)].waitPrev[linkSlot(next)] = prev;
+            d.waitNext[slot] = invalidWaitLink;
+            d.waitPrev[slot] = invalidWaitLink;
+            SMT_ASSERT(d.pendingOps > 0, "unsubscribe underflow");
+            --d.pendingOps;
+        }
+        SMT_ASSERT(d.pendingOps == 0,
+                   "pendingOps left after unsubscribe");
+    }
+
+    /** Head of one register's consumer list (audit/tests). */
+    WaitLink
+    headOf(bool fp, PhysRegId r) const
+    {
+        return head[fp][static_cast<std::size_t>(r)];
+    }
+
+    /** Registers per file this table covers. */
+    int
+    physPerFile() const
+    {
+        return static_cast<int>(head[0].size());
+    }
+
+  private:
+    /** waitPrev encoding: the predecessor is a list head, not a
+     *  node. fpBit selects the file, regMask holds the register. */
+    static constexpr WaitLink headBit = 0x80000000u;
+    static constexpr WaitLink fpBit = 0x40000000u;
+    static constexpr WaitLink regMask = 0x3FFFFFFFu;
+
+    static WaitLink
+    headRef(bool fp, PhysRegId r)
+    {
+        return headBit | (fp ? fpBit : 0u) |
+            static_cast<WaitLink>(r);
+    }
+
+    /** head[0] = int file, head[1] = fp file. */
+    std::vector<WaitLink> head[2];
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_CORE_WAKEUP_HH

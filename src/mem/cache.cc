@@ -2,19 +2,10 @@
 
 #include <cstdint>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace smt {
-
-namespace {
-
-bool
-isPow2(std::uint64_t x)
-{
-    return x && !(x & (x - 1));
-}
-
-} // anonymous namespace
 
 Cache::Cache(const CacheParams &params)
     : p(params)
@@ -31,21 +22,21 @@ Cache::Cache(const CacheParams &params)
     sets = static_cast<int>(p.size /
                             (static_cast<Addr>(p.lineSize) * p.assoc));
     SMT_ASSERT(sets >= 1, "%s: fewer than one set", p.name.c_str());
+    // Pow2 sets let every per-access index/tag/bank computation be a
+    // shift and a mask instead of runtime division; with pow2 size
+    // and line size this only constrains associativity to pow2.
+    SMT_ASSERT(isPow2(static_cast<std::uint64_t>(sets)),
+               "%s: set count %d must be a power of two "
+               "(size / (lineSize * assoc))",
+               p.name.c_str(), sets);
     lineMask = static_cast<Addr>(p.lineSize) - 1;
+    lineShift = log2Exact(static_cast<std::uint64_t>(p.lineSize));
+    setMask = static_cast<Addr>(sets) - 1;
+    tagShift =
+        lineShift + log2Exact(static_cast<std::uint64_t>(sets));
+    bankMask = static_cast<Addr>(p.banks) - 1;
     lines.resize(static_cast<std::size_t>(sets) * p.assoc);
     bankBusy.assign(p.banks, neverCycle);
-}
-
-int
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<int>((addr / p.lineSize) % sets);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / p.lineSize / sets;
 }
 
 bool
@@ -118,7 +109,7 @@ bool
 Cache::reserveBank(Addr addr, Cycle now)
 {
     const int bank =
-        static_cast<int>((addr / p.lineSize) % p.banks);
+        static_cast<int>((addr >> lineShift) & bankMask);
     if (bankBusy[bank] == now)
         return false;
     bankBusy[bank] = now;

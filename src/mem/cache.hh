@@ -92,12 +92,23 @@ class Cache
         bool valid = false;
     };
 
-    int setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    /** All pow2 geometry (asserted in the constructor), so the
+     *  per-access index/tag/bank math is pure shift and mask. */
+    int
+    setIndex(Addr addr) const
+    {
+        return static_cast<int>((addr >> lineShift) & setMask);
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> tagShift; }
 
     CacheParams p;
     int sets;
     Addr lineMask;
+    int lineShift;   //!< log2(lineSize)
+    Addr setMask;    //!< sets - 1
+    int tagShift;    //!< lineShift + log2(sets)
+    Addr bankMask;   //!< banks - 1
     std::vector<Line> lines;        //!< sets * assoc, row-major
     std::vector<Cycle> bankBusy;    //!< last cycle each bank served
     std::uint64_t stampCounter = 0;

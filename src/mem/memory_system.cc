@@ -43,12 +43,17 @@ MemorySystem::dataAccess(ThreadID tid, Addr addr, bool isLoad,
     const Addr line = l1dCache->lineAddr(addr);
 
     // Admission control first so rejected accesses leave no trace in
-    // the statistics and can retry without inflating counts.
+    // the statistics and can retry without inflating counts. The
+    // LRU-free probe is only needed when a miss could be refused
+    // (MSHRs full); otherwise the later access() is the single tag
+    // walk.
     const MshrFile::Entry *merged = mshrD.find(line);
     bool wouldHit = false;
-    if (!merged) {
+    bool probed = false;
+    if (!merged && mshrD.full()) {
         wouldHit = l1dCache->probe(addr);
-        if (!wouldHit && mshrD.full())
+        probed = true;
+        if (!wouldHit)
             return {};
     }
     if (!l1dCache->reserveBank(addr, now))
@@ -70,7 +75,7 @@ MemorySystem::dataAccess(ThreadID tid, Addr addr, bool isLoad,
     }
 
     const bool hit = l1dCache->access(addr);
-    SMT_ASSERT(hit == wouldHit, "probe/access disagree");
+    SMT_ASSERT(!probed || hit == wouldHit, "probe/access disagree");
     if (hit)
         return {true, now + p.l1Latency + penalty, ServiceLevel::L1,
                 dtlbMiss};
@@ -126,13 +131,6 @@ MemorySystem::instFetch(ThreadID tid, Addr pc, Cycle now)
 }
 
 void
-MemorySystem::tick(Cycle now)
-{
-    mshrD.retire(now);
-    mshrI.retire(now);
-}
-
-void
 MemorySystem::resetStats()
 {
     l1iCache->resetStats();
@@ -143,24 +141,6 @@ MemorySystem::resetStats()
     std::fill(sL2Acc.begin(), sL2Acc.end(), 0);
     std::fill(sL2Miss.begin(), sL2Miss.end(), 0);
     std::fill(sDtlbMiss.begin(), sDtlbMiss.end(), 0);
-}
-
-int
-MemorySystem::pendingL1DLoads(ThreadID tid) const
-{
-    return mshrD.pendingLoads(tid, ServiceLevel::L2);
-}
-
-int
-MemorySystem::pendingL2DLoads(ThreadID tid) const
-{
-    return mshrD.outstandingLoads(tid, ServiceLevel::Memory);
-}
-
-int
-MemorySystem::outstandingMemLoads() const
-{
-    return mshrD.outstandingLoads(ServiceLevel::Memory);
 }
 
 } // namespace smt

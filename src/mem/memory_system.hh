@@ -84,20 +84,40 @@ class MemorySystem
     /** Probe the I-side for the line containing pc. */
     FetchAccessResult instFetch(ThreadID tid, Addr pc, Cycle now);
 
-    /** Retire completed misses; call once per cycle. */
-    void tick(Cycle now);
+    /** Retire completed misses; call once per cycle. Inline: with
+     *  the MSHR earliest-ready gate this is usually two compares. */
+    void
+    tick(Cycle now)
+    {
+        mshrD.retire(now);
+        mshrI.retire(now);
+    }
 
     /** Zero all statistics; cache/TLB contents are untouched. */
     void resetStats();
 
-    /** Outstanding L1D *load* misses (any level) for a thread. */
-    int pendingL1DLoads(ThreadID tid) const;
+    /** Outstanding L1D *load* misses (any level) for a thread.
+     *  Inline: polled per thread per cycle (DCRA phase test and the
+     *  run loop's phase metrics). */
+    int
+    pendingL1DLoads(ThreadID tid) const
+    {
+        return mshrD.pendingLoads(tid, ServiceLevel::L2);
+    }
 
     /** Outstanding memory-level (L2-missing) loads for a thread. */
-    int pendingL2DLoads(ThreadID tid) const;
+    int
+    pendingL2DLoads(ThreadID tid) const
+    {
+        return mshrD.outstandingLoads(tid, ServiceLevel::Memory);
+    }
 
     /** Outstanding memory-level loads across all threads (MLP). */
-    int outstandingMemLoads() const;
+    int
+    outstandingMemLoads() const
+    {
+        return mshrD.outstandingLoads(ServiceLevel::Memory);
+    }
 
     /** @name Per-thread data-side statistics */
     /** @{ */

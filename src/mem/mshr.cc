@@ -13,6 +13,8 @@ MshrFile::MshrFile(int nEntries)
 const MshrFile::Entry *
 MshrFile::find(Addr line) const
 {
+    if (liveCount == 0)
+        return nullptr;
     for (const auto &e : entries) {
         if (e.valid && e.line == line)
             return &e;
@@ -29,6 +31,8 @@ MshrFile::alloc(Addr line, Cycle ready, ThreadID tid,
         if (!e.valid) {
             e = Entry{line, ready, tid, level, isLoad, true};
             ++liveCount;
+            if (ready < nextReady)
+                nextReady = ready;
             if (isLoad) {
                 ++loadCount[tid][static_cast<int>(level)];
                 if (level == ServiceLevel::Memory)
@@ -43,9 +47,14 @@ MshrFile::alloc(Addr line, Cycle ready, ThreadID tid,
 int
 MshrFile::retire(Cycle now)
 {
+    if (now < nextReady)
+        return 0; // nothing can arrive yet: skip the scan
     int released = 0;
+    Cycle soonest = neverCycle;
     for (auto &e : entries) {
-        if (e.valid && e.ready <= now) {
+        if (!e.valid)
+            continue;
+        if (e.ready <= now) {
             e.valid = false;
             --liveCount;
             ++released;
@@ -54,18 +63,12 @@ MshrFile::retire(Cycle now)
                 if (e.level == ServiceLevel::Memory)
                     --memLoadTotal;
             }
+        } else if (e.ready < soonest) {
+            soonest = e.ready;
         }
     }
+    nextReady = soonest;
     return released;
-}
-
-int
-MshrFile::pendingLoads(ThreadID tid, ServiceLevel atLeast) const
-{
-    int n = 0;
-    for (int lvl = static_cast<int>(atLeast); lvl <= 3; ++lvl)
-        n += loadCount[tid][lvl];
-    return n;
 }
 
 int
@@ -79,12 +82,6 @@ MshrFile::outstandingLoads(ServiceLevel level) const
             ++n;
     }
     return n;
-}
-
-int
-MshrFile::outstandingLoads(ThreadID tid, ServiceLevel level) const
-{
-    return loadCount[tid][static_cast<int>(level)];
 }
 
 } // namespace smt

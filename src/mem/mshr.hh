@@ -64,14 +64,26 @@ class MshrFile
      */
     int retire(Cycle now);
 
-    /** Outstanding load misses of a thread at a given level or worse. */
-    int pendingLoads(ThreadID tid, ServiceLevel atLeast) const;
+    /** Outstanding load misses of a thread at a given level or
+     *  worse. Inline: polled every cycle by policies and metrics. */
+    int
+    pendingLoads(ThreadID tid, ServiceLevel atLeast) const
+    {
+        int n = 0;
+        for (int lvl = static_cast<int>(atLeast); lvl <= 3; ++lvl)
+            n += loadCount[tid][lvl];
+        return n;
+    }
 
     /** Outstanding load misses at exactly the given level, all threads. */
     int outstandingLoads(ServiceLevel level) const;
 
     /** Outstanding load misses at the given level for one thread. */
-    int outstandingLoads(ThreadID tid, ServiceLevel level) const;
+    int
+    outstandingLoads(ThreadID tid, ServiceLevel level) const
+    {
+        return loadCount[tid][static_cast<int>(level)];
+    }
 
     /** Current number of live entries. */
     int live() const { return static_cast<int>(liveCount); }
@@ -82,6 +94,14 @@ class MshrFile
   private:
     std::vector<Entry> entries;
     std::size_t liveCount = 0;
+
+    /**
+     * Earliest ready cycle among live entries (neverCycle when
+     * empty): the per-cycle retire() is a single compare in the
+     * common nothing-arrives-this-cycle case instead of a scan of
+     * the whole file. Recomputed only on the cycles a fill lands.
+     */
+    Cycle nextReady = neverCycle;
 
     /** Incremental counts: loadCount[tid][level] (levels 2 and 3). */
     int loadCount[maxThreads][4] = {};

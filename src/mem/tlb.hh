@@ -53,6 +53,8 @@ class Tlb
 
     TlbParams p;
     int sets;
+    int pageShift;   //!< log2(pageBytes)
+    Addr setMask;    //!< sets - 1
     std::vector<Entry> entries;
     std::uint64_t stampCounter = 0;
     std::uint64_t nAccesses = 0;

@@ -22,6 +22,20 @@ DcraPolicy::onBind()
                 ctx.cfg->resourceTotal(rt), ctx.cfg->numThreads);
         }
     }
+    // The equal-share limit is consulted only for threads denied
+    // borrowing (the DcraDeg extension); precompute it as a table so
+    // the cycle loop never re-runs the floating-point formula. The
+    // table is value-identical to the formula (asserted by the
+    // sharing-model tests).
+    equalTables.clear();
+    for (int r = 0; r < NumResourceTypes; ++r) {
+        const auto rt = static_cast<ResourceType>(r);
+        equalTables.emplace_back(SharingFactorMode::Zero,
+                                 ctx.cfg->resourceTotal(rt),
+                                 ctx.cfg->numThreads);
+        lastFast[r] = -1;
+        lastSlow[r] = -1;
+    }
 }
 
 bool
@@ -62,25 +76,34 @@ DcraPolicy::beginCycle(Cycle now)
                 ++fastActive;
         }
 
-        if (params.useLookupTable) {
-            limit[r] = tables[static_cast<std::size_t>(r)].slowLimit(
-                fastActive, slowActive);
-        } else {
-            const SharingModel &model =
-                isIqResource(rt) ? iqModel : regModel;
-            limit[r] = model.slowLimit(ctx.cfg->resourceTotal(rt),
-                                       fastActive, slowActive);
+        // The entitlement depends only on (fastActive, slowActive),
+        // which is stable across the vast majority of cycles, so
+        // recompute it only when the classification changes.
+        if (fastActive != lastFast[r] || slowActive != lastSlow[r]) {
+            if (params.useLookupTable) {
+                limit[r] =
+                    tables[static_cast<std::size_t>(r)].slowLimit(
+                        fastActive, slowActive);
+            } else {
+                const SharingModel &model =
+                    isIqResource(rt) ? iqModel : regModel;
+                limit[r] = model.slowLimit(
+                    ctx.cfg->resourceTotal(rt), fastActive,
+                    slowActive);
+            }
+            lastFast[r] = fastActive;
+            lastSlow[r] = slowActive;
         }
-        equalLimit[r] = equalModel.slowLimit(
-            ctx.cfg->resourceTotal(rt), fastActive, slowActive);
 
         for (int t = 0; t < n; ++t) {
-            const int myLimit =
-                borrowAllowed(t) ? limit[r] : equalLimit[r];
-            if (slow[t] && active[r][t] &&
-                ctx.tracker->occupancy(rt, t) > myLimit) {
+            if (!slow[t] || !active[r][t])
+                continue;
+            const int myLimit = borrowAllowed(t)
+                ? limit[r]
+                : equalTables[static_cast<std::size_t>(r)].slowLimit(
+                      fastActive, slowActive);
+            if (ctx.tracker->occupancy(rt, t) > myLimit)
                 gatedMask[t] = true;
-            }
         }
     }
 }

@@ -43,6 +43,13 @@ class DcraPolicy : public Policy
 
     const char *name() const override { return "DCRA"; }
 
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     void beginCycle(Cycle now) override;
     bool fetchAllowed(ThreadID t, Cycle now) override;
 
@@ -88,13 +95,18 @@ class DcraPolicy : public Policy
     PolicyParams params;
     SharingModel iqModel;
     SharingModel regModel;
-    SharingModel equalModel{SharingFactorMode::Zero};
     std::vector<SharingModelTable> tables; //!< lookup-table variant
+    /** Equal-share (c = 0) limits for borrow-denied threads,
+     *  precomputed at bind (value-identical to the formula). */
+    std::vector<SharingModelTable> equalTables;
 
     bool slow[maxThreads] = {};
     bool active[NumResourceTypes][maxThreads] = {};
     int limit[NumResourceTypes] = {};
-    int equalLimit[NumResourceTypes] = {};
+    /** (fast, slow) active counts limit[] was computed for; set to
+     *  -1 at bind so the first cycle always computes. */
+    int lastFast[NumResourceTypes] = {};
+    int lastSlow[NumResourceTypes] = {};
     bool gatedMask[maxThreads] = {};
 };
 

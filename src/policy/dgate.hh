@@ -27,6 +27,13 @@ class DataGatingPolicy : public Policy
 
     const char *name() const override { return "DG"; }
 
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     bool
     fetchAllowed(ThreadID t, Cycle now) override
     {

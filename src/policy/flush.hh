@@ -30,6 +30,12 @@ class FlushPolicy : public Policy
 
     const char *name() const override { return "FLUSH"; }
 
+    /** Consumes only the data-access event (miss detection). */
+    unsigned eventMask() const override { return EvDataAccess; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     void beginCycle(Cycle now) override;
     bool fetchAllowed(ThreadID t, Cycle now) override;
     void onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,

@@ -28,6 +28,12 @@ class FlushPpPolicy : public FlushPolicy
 
     const char *name() const override { return "FLUSH++"; }
 
+    /** Data accesses plus commits (flush-mode hysteresis). */
+    unsigned eventMask() const override
+    {
+        return EvDataAccess | EvCommit;
+    }
+
     void onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,
                       ServiceLevel level, Cycle ready,
                       bool wrongPath) override;

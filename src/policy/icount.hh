@@ -18,6 +18,13 @@ class IcountPolicy : public Policy
 {
   public:
     const char *name() const override { return "ICOUNT"; }
+
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
 };
 
 } // namespace smt

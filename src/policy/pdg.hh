@@ -28,6 +28,16 @@ class PdgPolicy : public Policy
 
     const char *name() const override { return "PDG"; }
 
+    /** Tracks loads from fetch to completion/squash. */
+    unsigned eventMask() const override
+    {
+        return EvDataAccess | EvLoadComplete |
+            EvLoadSquashed | EvFetchLoad;
+    }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     bool fetchAllowed(ThreadID t, Cycle now) override;
     void onFetchLoad(ThreadID t, InstSeqNum seq, Addr pc) override;
     void onDataAccess(ThreadID t, InstSeqNum seq, Addr pc,

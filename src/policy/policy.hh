@@ -38,6 +38,23 @@ struct PolicyContext
     const MemorySystem *mem = nullptr;
 };
 
+/** @name Per-instruction pipeline events a policy may consume.
+ * Policy::eventMask() declares which of the on*() hooks below a
+ * policy actually implements; the pipeline skips the virtual
+ * dispatch for everything else (the hooks fire per instruction on
+ * the hottest paths).
+ */
+/** @{ */
+enum PolicyEvent : unsigned {
+    EvDataAccess = 1u << 0,   //!< onDataAccess()
+    EvLoadComplete = 1u << 1, //!< onLoadComplete()
+    EvLoadSquashed = 1u << 2, //!< onLoadSquashed()
+    EvFetchLoad = 1u << 3,    //!< onFetchLoad()
+    EvCommit = 1u << 4,       //!< onCommit()
+    EvAllEvents = 0x1f,
+};
+/** @} */
+
 /**
  * Abstract fetch / resource-allocation policy.
  */
@@ -96,6 +113,26 @@ class Policy
         (void)r;
         return true;
     }
+
+    /**
+     * Does this policy ever gate rename-stage allocation? Queried
+     * once at bind: when false, the pipeline skips the two
+     * per-dispatch allocAllowed() virtual calls entirely. The
+     * default is true (conservative — custom policies overriding
+     * allocAllowed() are always consulted); the built-in fetch-level
+     * policies return false.
+     */
+    virtual bool gatesAllocation() const { return true; }
+
+    /**
+     * Which per-instruction pipeline events this policy consumes
+     * (a PolicyEvent bitmask). Queried once at bind: the pipeline
+     * skips the virtual dispatch of every hook not in the mask.
+     * Defaults to all events (conservative, same reasoning as
+     * gatesAllocation()); built-in policies declare exactly what
+     * they implement.
+     */
+    virtual unsigned eventMask() const { return EvAllEvents; }
 
     /** @name Pipeline events */
     /** @{ */

@@ -17,6 +17,13 @@ class RoundRobinPolicy : public Policy
   public:
     const char *name() const override { return "ROUND-ROBIN"; }
 
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     int
     fetchPriority(ThreadID t, Cycle now) const override
     {

@@ -19,13 +19,31 @@ class SraPolicy : public Policy
   public:
     const char *name() const override { return "SRA"; }
 
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
     bool
     allocAllowed(ThreadID t, ResourceType r) override
     {
-        const int share =
-            ctx.cfg->resourceTotal(r) / ctx.cfg->numThreads;
-        return ctx.tracker->occupancy(r, t) < share;
+        return ctx.tracker->occupancy(r, t) < share[r];
     }
+
+  protected:
+    void
+    onBind() override
+    {
+        // The 1/T entitlements are configuration constants; computed
+        // once so the per-dispatch check is a counter compare.
+        for (int r = 0; r < NumResourceTypes; ++r) {
+            share[r] =
+                ctx.cfg->resourceTotal(static_cast<ResourceType>(r)) /
+                ctx.cfg->numThreads;
+        }
+    }
+
+  private:
+    int share[NumResourceTypes] = {};
 };
 
 } // namespace smt

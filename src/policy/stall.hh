@@ -25,6 +25,13 @@ class StallPolicy : public Policy
 
     const char *name() const override { return "STALL"; }
 
+    /** Reads the usage counters directly; the pipeline's per-
+     *  instruction event stream is unused. */
+    unsigned eventMask() const override { return 0; }
+
+    /** Gates fetch at most; rename allocation is never vetoed. */
+    bool gatesAllocation() const override { return false; }
+
     bool
     fetchAllowed(ThreadID t, Cycle now) override
     {

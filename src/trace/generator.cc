@@ -29,6 +29,23 @@ hashFrac(std::uint64_t h, int shift)
 
 constexpr Addr align8(Addr a) { return a & ~Addr(7); }
 
+/**
+ * Integer image of `hashFrac(h, s) < f`: the 16-bit field x
+ * satisfies x / 65536 < f iff x < ceil(f * 65536) (the product is
+ * exact — a power-of-two scale only shifts the exponent — and an
+ * integer is below a real bound iff it is below its ceiling).
+ */
+std::uint32_t
+frac16(double f)
+{
+    if (f <= 0.0)
+        return 0;
+    if (f >= 1.0)
+        return 1u << 16;
+    return static_cast<std::uint32_t>(
+        __builtin_ceil(f * 65536.0));
+}
+
 } // anonymous namespace
 
 SyntheticTraceGenerator::SyntheticTraceGenerator(
@@ -53,6 +70,51 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(
             (mix64(classSalt + 31 * i) % codeInsts) * 4));
     }
     streamPos.assign(std::max(prof.nStreams, 1), 0);
+
+    // Phase-modulation constants (see generate()): identical to the
+    // per-call expressions they replace, evaluated once.
+    {
+        const double mpf = prof.memPhaseFrac;
+        const double calm = prof.calmFactor;
+        const double norm = mpf + (1.0 - mpf) * calm;
+        memPhaseLen = static_cast<std::uint64_t>(
+            mpf * static_cast<double>(prof.phasePeriod));
+        multMem = (norm <= 0.0) ? 1.0 : 1.0 / norm;
+        multCalm = (norm <= 0.0) ? 1.0 : calm / norm;
+    }
+
+    // Integer thresholds for every per-instruction probability
+    // compare; the probability expressions are copied verbatim from
+    // the compares they replace so the images are exact.
+    depThresh = Rng::chanceThreshold(prof.depP);
+    src2Thresh = Rng::chanceThreshold(0.7);
+    brLoadThresh = Rng::chanceThreshold(prof.brDependsOnLoadFrac);
+    chaseThresh = Rng::chanceThreshold(prof.chaseFrac);
+    midHotThresh = Rng::chanceThreshold(prof.midHotFrac);
+    nearHotThresh = Rng::chanceThreshold(prof.nearHotFrac);
+    newRegionThresh = Rng::chanceThreshold(prof.newRegionProb);
+    takeMinorityThresh = Rng::chanceThreshold(0.25);
+    for (int phase = 0; phase < 2; ++phase) {
+        const double mult = phase ? multMem : multCalm;
+        const double pStream = prof.fStream * mult;
+        const double pFar = prof.fFar * mult;
+        const double pMid = prof.fMid * mult;
+        streamThresh[phase] = Rng::chanceThreshold(pStream);
+        farThresh[phase] = Rng::chanceThreshold(pStream + pFar);
+        midThresh[phase] =
+            Rng::chanceThreshold(pStream + pFar + pMid);
+    }
+    brThresh16 = frac16(prof.fracBranch);
+    loadThresh16 = frac16(prof.fracBranch + prof.fracLoad);
+    storeThresh16 =
+        frac16(prof.fracBranch + prof.fracLoad + prof.fracStore);
+    fpDstThresh16 = frac16(0.6);
+    fpAluThresh16 = frac16(prof.fracFpOfAlu);
+    fpMulThresh16 = frac16(prof.fracFpMulOfFp);
+    intMulThresh16 = frac16(prof.fracMulOfInt);
+    callThresh16 = frac16(prof.brCallFrac);
+    uncondThresh16 = frac16(0.05);
+    biasedThresh16 = frac16(prof.brBiasedFrac);
     for (int i = 0; i < recentRegs; ++i) {
         recentInt[i] = 1 + (i % (numIntArchRegs - 1));
         recentFp[i] = numIntArchRegs + 1 + (i % (numFpArchRegs - 1));
@@ -68,6 +130,9 @@ SyntheticTraceGenerator::peek()
     if (readIdx == genIdx) {
         ring[genIdx % ringCap] = generate();
         ++genIdx;
+        if (++phasePos >= static_cast<std::uint64_t>(
+                prof.phasePeriod))
+            phasePos = 0;
     }
     return ring[readIdx % ringCap];
 }
@@ -140,7 +205,8 @@ SyntheticTraceGenerator::nextFpDst()
 ArchRegId
 SyntheticTraceGenerator::pickIntSrc()
 {
-    const int d = 1 + static_cast<int>(rng.geometric(prof.depP));
+    const int d = 1 + static_cast<int>(
+        rng.geometricFast(prof.depP, depThresh));
     if (d > recentIntCount)
         return 1;
     return recentInt[(recentIntCount - d) % recentRegs];
@@ -149,7 +215,8 @@ SyntheticTraceGenerator::pickIntSrc()
 ArchRegId
 SyntheticTraceGenerator::pickFpSrc()
 {
-    const int d = 1 + static_cast<int>(rng.geometric(prof.depP));
+    const int d = 1 + static_cast<int>(
+        rng.geometricFast(prof.depP, depThresh));
     if (d > recentFpCount)
         return numIntArchRegs + 1;
     return recentFp[(recentFpCount - d) % recentRegs];
@@ -167,14 +234,15 @@ SyntheticTraceGenerator::recordDst(ArchRegId r)
 }
 
 void
-SyntheticTraceGenerator::genMemAddr(TraceInst &ti, double mult)
+SyntheticTraceGenerator::genMemAddr(TraceInst &ti, bool memPhase)
 {
-    const double u = rng.uniform();
-    const double pStream = prof.fStream * mult;
-    const double pFar = prof.fFar * mult;
-    const double pMid = prof.fMid * mult;
+    // One raw draw compared against the precomputed per-phase
+    // cascade thresholds: same consumption, same outcomes as the
+    // double cascade it replaces.
+    const std::uint64_t u = rng.next() >> 11;
+    const int ph = memPhase ? 1 : 0;
 
-    if (u < pStream && prof.nStreams > 0) {
+    if (u < streamThresh[ph] && prof.nStreams > 0) {
         const int s = static_cast<int>(rng.below(prof.nStreams));
         const Addr slice = prof.farBytes /
             static_cast<Addr>(prof.nStreams);
@@ -182,10 +250,10 @@ SyntheticTraceGenerator::genMemAddr(TraceInst &ti, double mult)
             static_cast<Addr>(s) * slice + streamPos[s];
         streamPos[s] = (streamPos[s] + prof.streamStride) %
             std::max<Addr>(slice, prof.streamStride);
-    } else if (u < pStream + pFar) {
+    } else if (u < farThresh[ph]) {
         ti.effAddr = layout::farBase + align8(rng.below(prof.farBytes));
         if (isLoad(ti.op) && prof.chaseChains > 0 &&
-            rng.chance(prof.chaseFrac)) {
+            rng.chanceFast(chaseThresh)) {
             // Pointer chase: this load both reads and redefines one
             // of the chain registers, serialising within the chain.
             const ArchRegId chain = 1 + (chainNext++ %
@@ -193,15 +261,15 @@ SyntheticTraceGenerator::genMemAddr(TraceInst &ti, double mult)
             ti.src1 = chain;
             ti.dst = chain;
         }
-    } else if (u < pStream + pFar + pMid) {
+    } else if (u < midThresh[ph]) {
         // The hot layer is 1/64th of the region so its per-line
         // reuse distance stays short enough to survive cache
         // pressure from co-running threads.
-        const Addr span = rng.chance(prof.midHotFrac)
+        const Addr span = rng.chanceFast(midHotThresh)
             ? prof.midBytes / 64 : prof.midBytes;
         ti.effAddr = layout::midBase + align8(rng.below(span));
     } else {
-        const Addr span = rng.chance(prof.nearHotFrac)
+        const Addr span = rng.chanceFast(nearHotThresh)
             ? prof.nearBytes / 8 : prof.nearBytes;
         ti.effAddr = layout::nearBase + align8(rng.below(span));
     }
@@ -242,7 +310,7 @@ SyntheticTraceGenerator::genBranch(TraceInst &ti, BranchRole role)
         ti.taken = --itersLeft > 0;
         if (ti.taken) {
             curPc = loopStart;
-        } else if (rng.chance(prof.newRegionProb)) {
+        } else if (rng.chanceFast(newRegionThresh)) {
             pendingRegionJump = true;
             curPc = ti.nextPc();
         } else {
@@ -257,8 +325,7 @@ SyntheticTraceGenerator::genBranch(TraceInst &ti, BranchRole role)
 
     // Intra-loop branch site; static properties come from the site
     // hash so each loop iteration sees the same site behaviour.
-    const double uCall = hashFrac(h, 0);
-    if (uCall < prof.brCallFrac && callStack.size() < 24) {
+    if ((h & 0xffff) < callThresh16 && callStack.size() < 24) {
         const Addr codeInsts = prof.codeFootprint / 4;
         ti.isCall = true;
         ti.taken = true;
@@ -280,8 +347,7 @@ SyntheticTraceGenerator::genBranch(TraceInst &ti, BranchRole role)
         target = loopEndPc;
     ti.target = wrapPc(target);
 
-    const double uCond = hashFrac(h, 8);
-    if (uCond < 0.05) {
+    if (((h >> 8) & 0xffff) < uncondThresh16) {
         ti.taken = true; // unconditional forward jump
         curPc = ti.target;
         return;
@@ -293,12 +359,13 @@ SyntheticTraceGenerator::genBranch(TraceInst &ti, BranchRole role)
     // data-dependent sites take their minority direction 25% of the
     // time. Per-instance coin flips at *biased* sites would poison
     // the global history register and are deliberately absent.
-    const bool biased = hashFrac(h, 48) < prof.brBiasedFrac;
+    const bool biased = ((h >> 48) & 0xffff) < biasedThresh16;
     const bool siteDir = (h >> 47) & 1;
     if (biased)
         ti.taken = siteDir;
     else
-        ti.taken = rng.chance(0.25) ? !siteDir : siteDir;
+        ti.taken = rng.chanceFast(takeMinorityThresh) ? !siteDir
+                                                      : siteDir;
     curPc = ti.taken ? ti.target : ti.nextPc();
 }
 
@@ -309,7 +376,7 @@ SyntheticTraceGenerator::pickBranchSrc()
     // op produced moments ago; only brDependsOnLoadFrac of branches
     // hang off the general dataflow (and possibly a missing load).
     if (lastIntAluDst != invalidArchReg &&
-        !rng.chance(prof.brDependsOnLoadFrac)) {
+        !rng.chanceFast(brLoadThresh)) {
         return lastIntAluDst;
     }
     return pickIntSrc();
@@ -327,15 +394,10 @@ SyntheticTraceGenerator::generate()
 
     // Phase modulation: memory-region probabilities are boosted
     // inside the memory phase and damped outside so the long-run
-    // average matches the profile's nominal fractions.
-    const double mpf = prof.memPhaseFrac;
-    const double calm = prof.calmFactor;
-    const double norm = mpf + (1.0 - mpf) * calm;
-    const bool inMemPhase = (genIdx % prof.phasePeriod) <
-        static_cast<std::uint64_t>(
-            mpf * static_cast<double>(prof.phasePeriod));
-    const double mult = (norm <= 0.0) ? 1.0
-        : (inMemPhase ? 1.0 / norm : calm / norm);
+    // average matches the profile's nominal fractions. phasePos
+    // tracks genIdx % phasePeriod incrementally and the multipliers
+    // are per-profile constants (see the constructor).
+    const bool memPhase = phasePos < memPhaseLen;
 
     // Structural branches take precedence over the per-PC class.
     if (inCallee && callStack.back().remaining <= 0) {
@@ -359,38 +421,41 @@ SyntheticTraceGenerator::generate()
     // of a loop re-executes the same static instructions and the
     // branch predictor and BTB can learn per-site behaviour.
     const std::uint64_t h = siteHash(ti.pc);
-    const double u = hashFrac(h, 16);
-    if (u < prof.fracBranch) {
+    const std::uint32_t u16 =
+        static_cast<std::uint32_t>((h >> 16) & 0xffff);
+    const std::uint32_t fp16 =
+        static_cast<std::uint32_t>((h >> 32) & 0xffff);
+    if (u16 < brThresh16) {
         genBranch(ti, BranchRole::Mix);
-    } else if (u < prof.fracBranch + prof.fracLoad) {
+    } else if (u16 < loadThresh16) {
         ti.op = OpClass::Load;
         ti.src1 = pickIntSrc();
-        if (prof.isFp && hashFrac(h, 32) < 0.6)
+        if (prof.isFp && fp16 < fpDstThresh16)
             ti.dst = nextFpDst();
         else
             ti.dst = nextIntDst();
-        genMemAddr(ti, mult);
+        genMemAddr(ti, memPhase);
         curPc = ti.nextPc();
-    } else if (u < prof.fracBranch + prof.fracLoad + prof.fracStore) {
+    } else if (u16 < storeThresh16) {
         ti.op = OpClass::Store;
         ti.src1 = pickIntSrc();
-        ti.src2 = (prof.isFp && hashFrac(h, 32) < 0.6) ? pickFpSrc()
-                                                       : pickIntSrc();
-        genMemAddr(ti, mult);
+        ti.src2 = (prof.isFp && fp16 < fpDstThresh16)
+            ? pickFpSrc() : pickIntSrc();
+        genMemAddr(ti, memPhase);
         curPc = ti.nextPc();
-    } else if (prof.isFp && hashFrac(h, 32) < prof.fracFpOfAlu) {
-        ti.op = hashFrac(h, 40) < prof.fracFpMulOfFp
+    } else if (prof.isFp && fp16 < fpAluThresh16) {
+        ti.op = ((h >> 40) & 0xffff) < fpMulThresh16
             ? OpClass::FpMulDiv : OpClass::FpAlu;
         ti.src1 = pickFpSrc();
-        if (rng.chance(0.7))
+        if (rng.chanceFast(src2Thresh))
             ti.src2 = pickFpSrc();
         ti.dst = nextFpDst();
         curPc = ti.nextPc();
     } else {
-        ti.op = hashFrac(h, 40) < prof.fracMulOfInt
+        ti.op = ((h >> 40) & 0xffff) < intMulThresh16
             ? OpClass::IntMul : OpClass::IntAlu;
         ti.src1 = pickIntSrc();
-        if (rng.chance(0.7))
+        if (rng.chanceFast(src2Thresh))
             ti.src2 = pickIntSrc();
         ti.dst = nextIntDst();
         lastIntAluDst = ti.dst;
@@ -445,6 +510,86 @@ wrongPathInst(Addr pc, const BenchProfile &prof, std::uint64_t salt)
         ti.effAddr = layout::nearBase +
             (((h >> 24) % (prof.nearBytes / 8)) & ~7ull);
     } else if (prof.isFp && ((h >> 21) & 3) != 0) {
+        ti.op = OpClass::FpAlu;
+        ti.src1 = numIntArchRegs + 1 +
+            static_cast<ArchRegId>((h >> 20) % (numFpArchRegs - 1));
+        ti.dst = numIntArchRegs + 1 +
+            static_cast<ArchRegId>((h >> 28) % (numFpArchRegs - 1));
+    } else {
+        ti.op = OpClass::IntAlu;
+        ti.src1 = 1 + static_cast<ArchRegId>((h >> 20) %
+                                             (numIntArchRegs - 1));
+        ti.src2 = 1 + static_cast<ArchRegId>((h >> 26) %
+                                             (numIntArchRegs - 1));
+        ti.dst = 1 + static_cast<ArchRegId>((h >> 32) %
+                                            (numIntArchRegs - 1));
+    }
+    return ti;
+}
+
+void
+WrongPathSynth::init(const BenchProfile &prof)
+{
+    // Threshold images of the wrongPathInst() probability cascade
+    // over the 20-bit hash field (u < f ⟺ u20 < ceil(f * 2^20),
+    // exact for the power-of-two scale); probability expressions
+    // copied verbatim.
+    auto frac20 = [](double f) -> std::uint32_t {
+        if (f <= 0.0)
+            return 0;
+        if (f >= 1.0)
+            return 1u << 20;
+        return static_cast<std::uint32_t>(
+            __builtin_ceil(f * 1048576.0));
+    };
+    isFp = prof.isFp;
+    brThresh20 = frac20(prof.fracBranch);
+    loadThresh20 = frac20(prof.fracBranch + prof.fracLoad);
+    storeThresh20 =
+        frac20(prof.fracBranch + prof.fracLoad + prof.fracStore);
+    midThresh16 = frac16(0.5 * prof.fMid);
+    codeInsts.set(prof.codeFootprint / 4);
+    midRegion.set(prof.midBytes / 64);
+    nearRegion.set(prof.nearBytes / 8);
+    codeBase = layout::codeBase;
+    midBase = layout::midBase;
+    nearBase = layout::nearBase;
+}
+
+TraceInst
+WrongPathSynth::inst(Addr pc, std::uint64_t salt) const
+{
+    TraceInst ti;
+    ti.pc = pc;
+    const std::uint64_t h = mix64(pc ^ mix64(salt));
+    const std::uint32_t u20 =
+        static_cast<std::uint32_t>(h & 0xfffff);
+
+    if (u20 < brThresh20) {
+        ti.op = OpClass::Branch;
+        ti.isCond = true;
+        ti.src1 = 1 + static_cast<ArchRegId>((h >> 20) %
+                                             (numIntArchRegs - 1));
+        ti.taken = (h >> 40) & 1;
+        ti.target = codeBase + codeInsts.mod(h >> 24) * 4;
+    } else if (u20 < loadThresh20) {
+        ti.op = OpClass::Load;
+        ti.src1 = 1 + static_cast<ArchRegId>((h >> 20) %
+                                             (numIntArchRegs - 1));
+        ti.dst = 1 + static_cast<ArchRegId>((h >> 28) %
+                                            (numIntArchRegs - 1));
+        const bool mid = ((h >> 36) & 0xffff) < midThresh16;
+        const FastMod &region = mid ? midRegion : nearRegion;
+        ti.effAddr = (mid ? midBase : nearBase) +
+            (region.mod(h >> 24) & ~7ull);
+    } else if (u20 < storeThresh20) {
+        ti.op = OpClass::Store;
+        ti.src1 = 1 + static_cast<ArchRegId>((h >> 20) %
+                                             (numIntArchRegs - 1));
+        ti.src2 = 1 + static_cast<ArchRegId>((h >> 28) %
+                                             (numIntArchRegs - 1));
+        ti.effAddr = nearBase + (nearRegion.mod(h >> 24) & ~7ull);
+    } else if (isFp && ((h >> 21) & 3) != 0) {
         ti.op = OpClass::FpAlu;
         ti.src1 = numIntArchRegs + 1 +
             static_cast<ArchRegId>((h >> 20) % (numFpArchRegs - 1));

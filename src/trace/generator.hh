@@ -108,7 +108,7 @@ class SyntheticTraceGenerator : public TraceSource
     void startLoop(Addr start);
 
     /** Pick an effective address for a memory op; may set chasing. */
-    void genMemAddr(TraceInst &ti, double mult);
+    void genMemAddr(TraceInst &ti, bool memPhase);
 
     /** Fresh integer destination register. */
     ArchRegId nextIntDst();
@@ -144,6 +144,49 @@ class SyntheticTraceGenerator : public TraceSource
     std::uint64_t readIdx = 0; //!< index of next inst to deliver
     std::vector<TraceInst> ring;
 
+    /** @name Phase-modulation constants (fixed per profile)
+     * Precomputed once so the per-instruction phase test is a
+     * counter compare instead of a divide plus double math; the
+     * values are the exact expressions generate() used to evaluate
+     * per call. */
+    /** @{ */
+    std::uint64_t memPhaseLen = 0; //!< cycles of phase in mem mode
+    std::uint64_t phasePos = 0;    //!< genIdx % prof.phasePeriod
+    double multMem = 1.0;          //!< region multiplier, mem phase
+    double multCalm = 1.0;         //!< region multiplier, calm phase
+
+    /**
+     * Integer thresholds replacing the per-instruction double
+     * compares (see Rng::chanceThreshold / frac16 in the .cc for
+     * the exactness argument): each is the precomputed image of the
+     * probability the original code compared against, so the
+     * instruction stream is bit-identical.
+     */
+    std::uint64_t depThresh = 0;     //!< chanceThreshold(depP)
+    std::uint64_t src2Thresh = 0;    //!< chanceThreshold(0.7)
+    std::uint64_t brLoadThresh = 0;  //!< brDependsOnLoadFrac
+    std::uint64_t chaseThresh = 0;   //!< chaseFrac
+    std::uint64_t midHotThresh = 0;  //!< midHotFrac
+    std::uint64_t nearHotThresh = 0; //!< nearHotFrac
+    std::uint64_t newRegionThresh = 0; //!< newRegionProb
+    std::uint64_t takeMinorityThresh = 0; //!< 0.25 (branch noise)
+    /** Memory-region cascade, [0]=calm phase, [1]=mem phase. */
+    std::uint64_t streamThresh[2] = {};
+    std::uint64_t farThresh[2] = {};
+    std::uint64_t midThresh[2] = {};
+    /** 16-bit site-hash class thresholds (frac16 images). */
+    std::uint32_t brThresh16 = 0;    //!< fracBranch
+    std::uint32_t loadThresh16 = 0;  //!< fracBranch+fracLoad
+    std::uint32_t storeThresh16 = 0; //!< +fracStore
+    std::uint32_t fpDstThresh16 = 0; //!< 0.6 (fp dst split)
+    std::uint32_t fpAluThresh16 = 0; //!< fracFpOfAlu
+    std::uint32_t fpMulThresh16 = 0; //!< fracFpMulOfFp
+    std::uint32_t intMulThresh16 = 0; //!< fracMulOfInt
+    std::uint32_t callThresh16 = 0;  //!< brCallFrac
+    std::uint32_t uncondThresh16 = 0; //!< 0.05 (forward jump)
+    std::uint32_t biasedThresh16 = 0; //!< brBiasedFrac
+    /** @} */
+
     // --- loop structure ---
     Addr loopStart = 0;
     Addr loopEndPc = 0;
@@ -164,6 +207,67 @@ class SyntheticTraceGenerator : public TraceSource
 
     std::vector<Addr> streamPos;
     int chainNext = 0;
+};
+
+/**
+ * Precomputed form of wrongPathInst() for the fetch hot path: the
+ * probability thresholds become integer compares and the two
+ * region moduli become reciprocal-multiply divisions (exact — the
+ * one-step fixup corrects the at-most-one-off quotient), so per
+ * instruction nothing is derived from the profile anymore. inst()
+ * is bit-identical to wrongPathInst() for every (pc, salt).
+ */
+class WrongPathSynth
+{
+  public:
+    WrongPathSynth() = default;
+
+    /** Precompute from a profile; must be called before inst(). */
+    void init(const BenchProfile &prof);
+
+    /** Same contract as wrongPathInst(pc, prof, salt). */
+    TraceInst inst(Addr pc, std::uint64_t salt) const;
+
+  private:
+    /** Exact x % d via double reciprocal plus one-step fixup;
+     *  valid for x < 2^52 (callers pass 40-bit hash fields). */
+    struct FastMod
+    {
+        std::uint64_t d = 1;
+        double inv = 1.0;
+
+        void
+        set(std::uint64_t div)
+        {
+            d = div;
+            inv = 1.0 / static_cast<double>(div);
+        }
+
+        std::uint64_t
+        mod(std::uint64_t x) const
+        {
+            const std::uint64_t q = static_cast<std::uint64_t>(
+                static_cast<double>(x) * inv);
+            std::uint64_t r = x - q * d;
+            if (static_cast<std::int64_t>(r) < 0)
+                r += d;
+            else if (r >= d)
+                r -= d;
+            return r;
+        }
+    };
+
+    bool isFp = false;
+    std::uint32_t brThresh20 = 0;    //!< fracBranch
+    std::uint32_t loadThresh20 = 0;  //!< +fracLoad
+    std::uint32_t storeThresh20 = 0; //!< +fracStore
+    std::uint32_t midThresh16 = 0;   //!< 0.5 * fMid
+    FastMod codeInsts;
+    FastMod midRegion;  //!< midBytes / 64
+    FastMod nearRegion; //!< nearBytes / 8
+    Addr codeBase = 0;
+    Addr midBase = 0;
+    Addr nearBase = 0;
 };
 
 /**

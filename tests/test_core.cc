@@ -137,18 +137,26 @@ TEST(Rob, TailWalk)
     EXPECT_EQ(rob.size(), 2);
 }
 
-TEST(IssueQueue, CapacityAndOrder)
+TEST(IssueQueue, CapacityAndSlotRemoval)
 {
     IssueQueue q(3);
-    q.insert(5);
-    q.insert(6);
-    q.insert(7);
+    const std::uint32_t s5 = q.insert(5);
+    const std::uint32_t s6 = q.insert(6);
+    const std::uint32_t s7 = q.insert(7);
     EXPECT_TRUE(q.full());
-    EXPECT_EQ(q.entries()[0], 5u);
-    q.removeAt(0);
-    EXPECT_EQ(q.entries()[0], 6u);
-    q.remove(7);
+    EXPECT_EQ(s5, 0u);
+    EXPECT_EQ(s6, 1u);
+    EXPECT_EQ(s7, 2u);
+    // Removing the head swaps the tail entry into the freed slot and
+    // reports it so the caller can patch that entry's iqSlot.
+    EXPECT_EQ(q.removeSlot(s5, 5), 7u);
+    EXPECT_EQ(q.entries()[0], 7u);
+    EXPECT_FALSE(q.full());
+    // Removing the current tail moves nothing.
+    EXPECT_EQ(q.removeSlot(s6, 6), invalidInst);
     EXPECT_EQ(q.size(), 1);
+    EXPECT_EQ(q.removeSlot(0, 7), invalidInst);
+    EXPECT_EQ(q.size(), 0);
 }
 
 TEST(InstPool, AllocFreeReuse)

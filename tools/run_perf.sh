@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Convenience wrapper around bench_perf_throughput: finds the binary
+# in the usual build directories (or $SMT_BUILD_DIR), defaults the
+# output file to BENCH_perf.json in the current directory, and
+# forwards every argument. Examples:
+#
+#   tools/run_perf.sh --quick
+#   tools/run_perf.sh --label after --baseline BENCH_before.json
+#
+# A Release build is strongly recommended; the numbers are meant to
+# track the simulator's hot-path performance over time.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+bench=""
+for dir in "${SMT_BUILD_DIR:-}" "$root/build" "$root/build-release" \
+           "$root/build-shim"; do
+    [ -n "$dir" ] && [ -x "$dir/bench_perf_throughput" ] || continue
+    bench="$dir/bench_perf_throughput"
+    break
+done
+
+if [ -z "$bench" ]; then
+    echo "run_perf.sh: no bench_perf_throughput binary found;" >&2
+    echo "build first (Release recommended):" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build build -j" >&2
+    exit 1
+fi
+
+# Default the output file unless the caller already chose one.
+has_output=0
+for arg in "$@"; do
+    [ "$arg" = "--output" ] && has_output=1
+done
+
+if [ "$has_output" = 1 ]; then
+    exec "$bench" "$@"
+fi
+exec "$bench" --output BENCH_perf.json "$@"
