@@ -47,6 +47,18 @@ constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
 /** Hard upper bound on hardware contexts supported by the model. */
 constexpr int maxThreads = 8;
 
+/**
+ * Per-program base so software threads occupy disjoint address
+ * regions. The 1 TiB stride keeps spaces disjoint; the additional
+ * 81-line stagger keeps different programs' regions from mapping to
+ * identical cache sets (as OS physical page allocation does for real
+ * processes). Without it, N aligned programs fight over the same
+ * 2-way sets. Shared by the pipeline, the prewarm logic and the
+ * chip-level thread-migration code, which must all agree on a
+ * program's addresses no matter which core (context) it runs on.
+ */
+constexpr Addr threadAddrStride = 0x10000000000ull + 81 * 64;
+
 } // namespace smt
 
 #endif // DCRA_SMT_COMMON_TYPES_HH

@@ -9,19 +9,6 @@
 
 namespace smt {
 
-namespace {
-
-/**
- * Per-thread base so programs occupy disjoint address regions. The
- * 1 TiB stride keeps spaces disjoint; the additional 81-line stagger
- * keeps different threads' regions from mapping to identical cache
- * sets (as OS physical page allocation does for real processes).
- * Without it, N aligned programs fight over the same 2-way sets.
- */
-constexpr Addr threadAddrStride = 0x10000000000ull + 81 * 64; // 1 TiB+
-
-} // anonymous namespace
-
 Pipeline::Pipeline(const SmtConfig &cfg_, MemorySystem &mem_,
                    BranchPredictor &bpred_, Policy &policy_,
                    std::vector<ThreadProgram> programs)
@@ -55,12 +42,18 @@ Pipeline::Pipeline(const SmtConfig &cfg_, MemorySystem &mem_,
         ts.fetchQ.init(static_cast<std::size_t>(cfg.fetchQueueSize));
         ts.storeList.init(static_cast<std::size_t>(cfg.robSize));
         ts.storeSet.init(static_cast<std::size_t>(cfg.robSize));
-        SMT_ASSERT(programs[t].trace && programs[t].profile,
-                   "thread %d has no program", t);
+        if (!programs[t].trace) {
+            // Idle context: no software thread yet; the chip layer
+            // may attachThread() one later.
+            continue;
+        }
+        SMT_ASSERT(programs[t].profile, "thread %d has no profile", t);
         ts.trace = programs[t].trace;
         ts.prof = programs[t].profile;
         ts.wpSynth.init(*ts.prof);
-        ts.addrBase = static_cast<Addr>(t) * threadAddrStride;
+        ts.addrBase = programs[t].addrBase != ~0ull
+            ? programs[t].addrBase
+            : static_cast<Addr>(t) * threadAddrStride;
         ts.fetchPc = ts.trace->peek().pc + ts.addrBase;
     }
 
@@ -226,6 +219,34 @@ Pipeline::auditInvariants() const
                    "fp reg occupancy mismatch t=%d", t);
     }
     SMT_ASSERT(robTotal == robBuf.size(), "ROB total mismatch");
+
+    // Migration handoff invariants: an idle context (no software
+    // thread attached) must hold no machine state at all, and a
+    // draining context must be active. A detached thread that left
+    // anything behind would corrupt the next occupant.
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        const ThreadState &ts = threads[t];
+        if (ts.trace) {
+            continue;
+        }
+        SMT_ASSERT(!ts.draining, "idle context marked draining");
+        SMT_ASSERT(robBuf.empty(t), "idle context owns ROB entries");
+        SMT_ASSERT(ts.fetchQ.empty(), "idle context owns fetchQ");
+        SMT_ASSERT(ts.storeList.empty(),
+                   "idle context owns in-flight stores");
+        SMT_ASSERT(!ts.wrongPathMode, "idle context on wrong path");
+        SMT_ASSERT(rtracker.preIssue(t) == 0,
+                   "idle context holds pre-issue slots");
+        for (int q = 0; q < numQueueClasses; ++q) {
+            SMT_ASSERT(rtracker.occupancy(
+                           iqResource(static_cast<QueueClass>(q)),
+                           t) == 0,
+                       "idle context holds IQ entries");
+        }
+        SMT_ASSERT(rtracker.occupancy(ResRegInt, t) == 0 &&
+                   rtracker.occupancy(ResRegFp, t) == 0,
+                   "idle context holds rename registers");
+    }
 
     // Register free-list accounting: free + architectural + renamed
     // in flight == file size for each class.
@@ -857,6 +878,8 @@ Pipeline::fetchStage()
 
     for (ThreadID t = 0; t < cfg.numThreads; ++t) {
         ThreadState &ts = threads[t];
+        if (!ts.trace || ts.draining)
+            continue; // idle context, or draining for migration
         if (cycle < ts.fetchResumeCycle)
             continue;
         if (static_cast<int>(ts.fetchQ.size()) >= cfg.fetchQueueSize)
@@ -996,6 +1019,72 @@ Pipeline::fetchFrom(ThreadID t, int &budget)
         if (stopFetch)
             break;
     }
+}
+
+// ---------------------------------------------------------------
+// thread migration (chip layer)
+// ---------------------------------------------------------------
+
+void
+Pipeline::beginDrain(ThreadID t)
+{
+    SMT_ASSERT(t >= 0 && t < cfg.numThreads, "bad drain tid %d", t);
+    SMT_ASSERT(contextActive(t), "draining an idle context");
+    threads[t].draining = true;
+}
+
+void
+Pipeline::detachThread(ThreadID t)
+{
+    SMT_ASSERT(t >= 0 && t < cfg.numThreads, "bad detach tid %d", t);
+    ThreadState &ts = threads[t];
+    SMT_ASSERT(ts.trace && ts.draining,
+               "detach of a context that is not draining");
+
+    // Squash whatever the drain window did not retire (seq 0 is
+    // older than any live instruction). This releases every queue
+    // entry and register, emits the per-load policy events, and
+    // restores the rename map to the architectural state.
+    const SquashInfo info = squashAfter(t, 0);
+    if (info.any)
+        bpred.repair(t, info.oldestSnap);
+    if (info.anyCorrectPath)
+        ts.trace->rewindTo(info.oldestTraceIdx);
+    SMT_ASSERT(robBuf.empty(t) && ts.fetchQ.empty() &&
+               ts.storeList.empty(),
+               "detach left in-flight state behind");
+
+    ts.trace = nullptr;
+    ts.prof = nullptr;
+    ts.wrongPathMode = false;
+    ts.draining = false;
+    ts.fetchResumeCycle = 0;
+    ts.fetchPc = 0;
+    ts.addrBase = 0;
+}
+
+void
+Pipeline::attachThread(ThreadID t, const ThreadProgram &prog)
+{
+    SMT_ASSERT(t >= 0 && t < cfg.numThreads, "bad attach tid %d", t);
+    ThreadState &ts = threads[t];
+    SMT_ASSERT(!ts.trace, "attach to an occupied context");
+    SMT_ASSERT(prog.trace && prog.profile, "attach of an empty program");
+    SMT_ASSERT(prog.addrBase != ~0ull,
+               "attach needs the software thread's address base");
+    SMT_ASSERT(robBuf.empty(t) && ts.fetchQ.empty(),
+               "attach to a context with in-flight state");
+
+    ts.trace = prog.trace;
+    ts.prof = prog.profile;
+    ts.wpSynth.init(*ts.prof);
+    ts.addrBase = prog.addrBase;
+    ts.fetchPc = ts.trace->peek().pc + ts.addrBase;
+    ts.wrongPathMode = false;
+    ts.draining = false;
+    // Resume next cycle so an attach between two ticks never lets
+    // the thread fetch "twice" in its handoff cycle.
+    ts.fetchResumeCycle = cycle + 1;
 }
 
 } // namespace smt

@@ -76,11 +76,21 @@ struct PipelineStats
 class Pipeline
 {
   public:
-    /** What one hardware context executes. */
+    /** What one hardware context executes. A null trace marks an
+     *  idle context (no software thread attached); the chip layer
+     *  populates it later via attachThread(). */
     struct ThreadProgram
     {
         TraceSource *trace = nullptr;
         const BenchProfile *profile = nullptr;
+        /**
+         * Base of the program's address region. The sentinel means
+         * "context id x threadAddrStride" (the single-core layout);
+         * the chip layer passes the software thread's own base so a
+         * program keeps its addresses when it migrates between
+         * cores (the shared LLC is indexed by address).
+         */
+        Addr addrBase = ~0ull;
     };
 
     /**
@@ -129,6 +139,50 @@ class Pipeline
         return mem.pendingL1DLoads(t) > 0;
     }
 
+    /** @name Thread-migration hooks (chip layer)
+     * The drain-squash-migrate handoff: beginDrain() stops fetch for
+     * a context while its in-flight instructions keep committing;
+     * once drainComplete() (or on a drain timeout) detachThread()
+     * squashes any leftovers, rewinds the trace to the architectural
+     * point and frees the context; attachThread() later binds a
+     * program (usually on another core's pipeline) to an idle
+     * context. All four are deterministic.
+     */
+    /** @{ */
+    /** Does this context have a software thread attached? */
+    bool contextActive(ThreadID t) const
+    {
+        return threads[t].trace != nullptr;
+    }
+
+    /** Is this context draining (fetch stopped for migration)? */
+    bool draining(ThreadID t) const { return threads[t].draining; }
+
+    /** Stop fetching for t; in-flight instructions keep going. */
+    void beginDrain(ThreadID t);
+
+    /** True once a draining context has nothing left in flight. */
+    bool
+    drainComplete(ThreadID t) const
+    {
+        return robBuf.empty(t) && threads[t].fetchQ.empty();
+    }
+
+    /**
+     * Detach the software thread from a draining context: squash
+     * anything still in flight, rewind the trace so its next
+     * instruction is the architecturally next one, and mark the
+     * context idle. The caller re-attaches the same TraceSource
+     * elsewhere. Outstanding MSHR entries tagged with this context
+     * simply retire by time (documented modeling artifact).
+     */
+    void detachThread(ThreadID t);
+
+    /** Bind a program to an idle context; fetch resumes next cycle.
+     *  prog.addrBase must be the software thread's own base. */
+    void attachThread(ThreadID t, const ThreadProgram &prog);
+    /** @} */
+
     /** @name Introspection for tests */
     /** @{ */
     const Rob &rob() const { return robBuf; }
@@ -174,6 +228,8 @@ class Pipeline
         WrongPathSynth wpSynth;
         Addr addrBase = 0;
         bool wrongPathMode = false;
+        /** Migration drain: fetch suppressed until detach/attach. */
+        bool draining = false;
         InstSeqNum wpTriggerSeq = 0;
         Addr fetchPc = 0;
         std::uint64_t wpSalt = 0;

@@ -86,8 +86,18 @@ MemorySystem::dataAccess(ThreadID tid, Addr addr, bool isLoad,
     Cycle ready = now + p.l1Latency + p.l2Latency;
     if (!l2Cache->access(addr)) {
         ++sL2Miss[tid];
-        level = ServiceLevel::Memory;
-        ready += p.memLatency;
+        if (llc) {
+            // CMP mode: the private-L2 miss goes to the shared LLC.
+            // An LLC hit stays on chip (ServiceLevel::L2 — serviced
+            // below L1 but short of memory); only a true LLC miss is
+            // a memory-level access for MLP/phase classification.
+            const LlcResult lr = llc->access(coreId, addr, ready);
+            level = lr.hit ? ServiceLevel::L2 : ServiceLevel::Memory;
+            ready = lr.ready;
+        } else {
+            level = ServiceLevel::Memory;
+            ready += p.memLatency;
+        }
         l2Cache->fill(addr);
     }
     ready += penalty;
@@ -120,8 +130,14 @@ MemorySystem::instFetch(ThreadID tid, Addr pc, Cycle now)
     ServiceLevel level = ServiceLevel::L2;
     Cycle ready = now + p.l1Latency + p.l2Latency;
     if (!l2Cache->access(pc)) {
-        level = ServiceLevel::Memory;
-        ready += p.memLatency;
+        if (llc) {
+            const LlcResult lr = llc->access(coreId, pc, ready);
+            level = lr.hit ? ServiceLevel::L2 : ServiceLevel::Memory;
+            ready = lr.ready;
+        } else {
+            level = ServiceLevel::Memory;
+            ready += p.memLatency;
+        }
         l2Cache->fill(pc);
     }
     ready += penalty;

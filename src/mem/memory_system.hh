@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "mem/cache.hh"
 #include "mem/mshr.hh"
+#include "mem/shared_cache.hh"
 #include "mem/tlb.hh"
 
 namespace smt {
@@ -143,9 +144,27 @@ class MemorySystem
     /** Configuration. */
     const MemParams &params() const { return p; }
 
+    /**
+     * Wire this core's private hierarchy onto a chip-shared LLC:
+     * private-L2 misses (data and instruction side) are serviced by
+     * @p llc as core @p coreId instead of being charged the flat
+     * memLatency. Never called in single-core configurations, so
+     * their timing is exactly the pre-CMP model.
+     */
+    void
+    attachLlc(SharedCache *llc_, int coreId_)
+    {
+        llc = llc_;
+        coreId = coreId_;
+    }
+
   private:
     MemParams p;
     int nThreads;
+
+    /** Chip-shared next level; null in single-core configurations. */
+    SharedCache *llc = nullptr;
+    int coreId = 0;
 
     std::unique_ptr<Cache> l1iCache;
     std::unique_ptr<Cache> l1dCache;

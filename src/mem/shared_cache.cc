@@ -1,0 +1,107 @@
+#include "mem/shared_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+SharedCache::SharedCache(const SharedCacheParams &params,
+                         int numCores)
+    : p(params), nCores(numCores), llc(p.tags)
+{
+    SMT_ASSERT(numCores >= 1, "bad core count %d", numCores);
+    SMT_ASSERT(p.mshrsPerCore >= 1, "LLC needs at least one MSHR");
+    outstanding.resize(static_cast<std::size_t>(numCores));
+    for (auto &v : outstanding)
+        v.reserve(static_cast<std::size_t>(p.mshrsPerCore));
+    sAcc.assign(static_cast<std::size_t>(numCores), 0);
+    sMiss.assign(static_cast<std::size_t>(numCores), 0);
+}
+
+LlcResult
+SharedCache::access(int core, Addr addr, Cycle now)
+{
+    SMT_ASSERT(core >= 0 && core < nCores, "bad core %d", core);
+    ++sAcc[core];
+
+    // Retire this core's misses that completed by now; the vector is
+    // bounded by the quota, so the scan is a handful of compares.
+    std::vector<Cycle> &out = outstanding[core];
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [now](Cycle r) { return r <= now; }),
+              out.end());
+
+    // MSHR quota backpressure: a core at its quota starts no new
+    // transaction until enough of its own misses retire. The start
+    // time is the k-th smallest retire time, where k is how many
+    // retirements free the first slot.
+    Cycle start = now;
+    if (static_cast<int>(out.size()) >= p.mshrsPerCore) {
+        std::vector<Cycle> sorted = out;
+        std::sort(sorted.begin(), sorted.end());
+        const std::size_t need =
+            sorted.size() - static_cast<std::size_t>(p.mshrsPerCore);
+        start = std::max(start, sorted[need]);
+        out.erase(std::remove_if(
+                      out.begin(), out.end(),
+                      [start](Cycle r) { return r <= start; }),
+                  out.end());
+    }
+
+    // Shared bus: one transaction at a time, fixed occupancy.
+    const Cycle grant = std::max(start, busFreeAt);
+    busFreeAt = grant + p.busLatency;
+    sArbWait += grant - now;
+
+    LlcResult res;
+    res.hit = llc.access(addr);
+    if (res.hit) {
+        res.ready = grant + p.latency;
+        return res;
+    }
+    ++sMiss[core];
+    res.ready = grant + p.latency + p.memLatency;
+    llc.fill(addr);
+    out.push_back(res.ready);
+    return res;
+}
+
+void
+SharedCache::resetStats()
+{
+    llc.resetStats();
+    std::fill(sAcc.begin(), sAcc.end(), 0);
+    std::fill(sMiss.begin(), sMiss.end(), 0);
+    sArbWait = 0;
+}
+
+void
+SharedCache::auditInvariants() const
+{
+    for (int c = 0; c < nCores; ++c) {
+        SMT_ASSERT(static_cast<int>(outstanding[c].size()) <=
+                   p.mshrsPerCore,
+                   "core %d exceeds its LLC MSHR quota", c);
+    }
+}
+
+std::uint64_t
+SharedCache::totalAccesses() const
+{
+    std::uint64_t s = 0;
+    for (const std::uint64_t v : sAcc)
+        s += v;
+    return s;
+}
+
+std::uint64_t
+SharedCache::totalMisses() const
+{
+    std::uint64_t s = 0;
+    for (const std::uint64_t v : sMiss)
+        s += v;
+    return s;
+}
+
+} // namespace smt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chip-level shared last-level cache (LLC) for the CMP layer: one
+ * tag array shared by every core, reached over a shared bus with a
+ * fixed per-transaction occupancy, with a per-core MSHR quota that
+ * arbitrates how many outstanding LLC misses each core may hold.
+ *
+ * The LLC sits *below* each core's private hierarchy: a core's
+ * MemorySystem forwards its private-L2 misses here instead of
+ * charging the flat memory latency (see MemorySystem::attachLlc).
+ * Single-core configurations never instantiate this level, which is
+ * what keeps `--cores 1` byte-identical to the single-core machine.
+ *
+ * Determinism: cores tick in a fixed order inside one chip cycle,
+ * so the bus/MSHR arbitration below sees a deterministic request
+ * order and the whole chip simulation is bit-reproducible.
+ */
+
+#ifndef DCRA_SMT_MEM_SHARED_CACHE_HH
+#define DCRA_SMT_MEM_SHARED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace smt {
+
+/** Geometry and timing of the shared LLC + bus. */
+struct SharedCacheParams
+{
+    CacheParams tags{"llc", 8 * 1024 * 1024, 16, 64, 8};
+    Cycle latency = 30;     //!< LLC tag+data access beyond the L2
+    Cycle busLatency = 4;   //!< bus occupancy per transaction
+    Cycle memLatency = 300; //!< main memory beyond the LLC
+    int mshrsPerCore = 16;  //!< outstanding LLC misses per core
+};
+
+/** Outcome of one LLC access. */
+struct LlcResult
+{
+    bool hit = false; //!< line was present in the LLC
+    Cycle ready = 0;  //!< absolute cycle the data reaches the core
+};
+
+class SharedCache
+{
+  public:
+    SharedCache(const SharedCacheParams &params, int numCores);
+
+    /**
+     * One private-L2 miss from @p core arriving at @p now. Applies
+     * MSHR-quota backpressure (a core at its quota waits for its
+     * earliest outstanding miss to retire), then bus arbitration
+     * (fixed occupancy per transaction), then the tag lookup.
+     */
+    LlcResult access(int core, Addr addr, Cycle now);
+
+    /** Pre-warm: allocate the line without stats or arbitration. */
+    void fill(Addr addr) { llc.fill(addr); }
+
+    /** Zero statistics; tags and arbitration state are untouched. */
+    void resetStats();
+
+    /** Verify arbitration bookkeeping; panics on violation. */
+    void auditInvariants() const;
+
+    /** @name Per-core statistics */
+    /** @{ */
+    std::uint64_t accesses(int core) const { return sAcc[core]; }
+    std::uint64_t misses(int core) const { return sMiss[core]; }
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalMisses() const;
+    /** Cycles requests spent waiting for the bus or an MSHR slot. */
+    std::uint64_t arbWaitCycles() const { return sArbWait; }
+    /** @} */
+
+    /** Underlying tag array, for tests. */
+    Cache &tags() { return llc; }
+
+    /** Configuration. */
+    const SharedCacheParams &params() const { return p; }
+
+  private:
+    SharedCacheParams p;
+    int nCores;
+
+    Cache llc;
+    Cycle busFreeAt = 0;
+
+    /** Retire times of each core's outstanding LLC misses. */
+    std::vector<std::vector<Cycle>> outstanding;
+
+    std::vector<std::uint64_t> sAcc;
+    std::vector<std::uint64_t> sMiss;
+    std::uint64_t sArbWait = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_MEM_SHARED_CACHE_HH

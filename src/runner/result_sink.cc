@@ -94,7 +94,28 @@ appendConfigJson(std::string &out, const SweepJob &job)
     out += ", \"perfectDcache\": ";
     out += c.mem.perfectDcache ? "true" : "false";
     out += ", \"seed\": " + fmtU64(c.seed);
+    if (c.soc.numCores > 1) {
+        // Chip shape, emitted only for CMP jobs so single-core sweep
+        // documents keep their exact pre-CMP bytes.
+        out += ", \"cores\": " + std::to_string(c.soc.numCores);
+        out += ", \"contextsPerCore\": " +
+            std::to_string(c.soc.contextsPerCore);
+        out += ", \"allocator\": \"";
+        out += allocatorKindName(c.soc.allocator);
+        out += "\"";
+        out += ", \"epochCycles\": " + fmtU64(c.soc.epochCycles);
+    }
     out += "}";
+}
+
+/** Hash as a hex string: u64 does not fit a JSON double exactly. */
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 } // anonymous namespace
@@ -212,6 +233,23 @@ JsonSink::render(const SweepResults &res) const
         out += ", \"hmean\": ";
         out += hmean ? fmtDouble(r.summary.hmean) : "null";
         out += ", \"mlpBusyMean\": " + fmtDouble(raw.mlpBusyMean);
+        if (!raw.coreCommitHashes.empty()) {
+            // CMP job: the chip-level outcome, including the
+            // per-core commit-stream hashes the determinism checks
+            // (parallel-vs-serial diff, 2-core golden) compare.
+            out += ",\n     \"soc\": {\"migrations\": " +
+                fmtU64(raw.migrations);
+            out += ", \"llcAccesses\": " + fmtU64(raw.llcAccesses);
+            out += ", \"llcMisses\": " + fmtU64(raw.llcMisses);
+            out += ", \"coreCommitHashes\": [";
+            for (std::size_t c = 0; c < raw.coreCommitHashes.size();
+                 ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"" + hexU64(raw.coreCommitHashes[c]) + "\"";
+            }
+            out += "]}";
+        }
         out += ",\n     \"threads\": [\n";
         for (std::size_t t = 0; t < raw.threads.size(); ++t) {
             const ThreadResult &tr = raw.threads[t];

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "runner/job_scheduler.hh"
 #include "sim/metrics.hh"
+#include "soc/chip.hh"
 
 namespace smt {
 
@@ -42,9 +43,20 @@ SweepRunner::run()
     const JobScheduler sched(nJobs);
     sched.run(jobs.size(), [&](std::size_t i) {
         const SweepJob &job = jobs[i];
-        Simulator sim(job.config, job.workload.benches, job.policy);
         RunSummary s;
-        s.raw = sim.run(spec.commits, spec.maxCycles, spec.warmup);
+        if (job.config.soc.numCores > 1) {
+            // CMP grid point: the whole chip is one job, so host
+            // parallelism still never touches result determinism.
+            ChipSimulator chip(job.config, job.workload.benches,
+                               job.policy);
+            s.raw = chip.run(spec.commits, spec.maxCycles,
+                             spec.warmup);
+        } else {
+            Simulator sim(job.config, job.workload.benches,
+                          job.policy);
+            s.raw = sim.run(spec.commits, spec.maxCycles,
+                            spec.warmup);
+        }
         for (std::size_t t = 0; t < job.workload.benches.size();
              ++t) {
             s.multiIpc.push_back(s.raw.threads[t].ipc);

@@ -29,6 +29,14 @@ ConfigOverride::apply(SimConfig cfg) const
         cfg.policy.regSharingMode = *regSharingMode;
     if (seed)
         cfg.seed = *seed;
+    if (numCores)
+        cfg.soc.numCores = *numCores;
+    if (contextsPerCore)
+        cfg.soc.contextsPerCore = *contextsPerCore;
+    if (allocator)
+        cfg.soc.allocator = *allocator;
+    if (epochCycles)
+        cfg.soc.epochCycles = *epochCycles;
     for (const ResourceCapFrac &cap : caps) {
         if (cap.frac < 1.0) {
             const int total = cfg.core.resourceTotal(cap.res);

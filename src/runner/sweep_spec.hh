@@ -54,6 +54,16 @@ struct ConfigOverride
     std::optional<SharingFactorMode> regSharingMode;
     std::optional<std::uint64_t> seed;
 
+    /** @name Chip-level (CMP) axes
+     * numCores > 1 makes the runner execute the job on a
+     * ChipSimulator; the other three shape the chip. */
+    /** @{ */
+    std::optional<int> numCores;
+    std::optional<int> contextsPerCore;
+    std::optional<AllocatorKind> allocator;
+    std::optional<Cycle> epochCycles;
+    /** @} */
+
     /** Caps are applied after the scalar fields, so a fraction is
      * relative to the overridden resource totals. */
     std::vector<ResourceCapFrac> caps;
@@ -122,8 +132,10 @@ Workload adHocWorkload(const std::vector<std::string> &benches);
 /**
  * Stable serialisation of every SimConfig field that can change a
  * simulation outcome, *excluding* the policy parameters (baseline
- * runs always use ICOUNT, which reads none of them). Used as the
- * BaselineCache key so equal-hardware sweep points share baselines.
+ * runs always use ICOUNT, which reads none of them) and the chip
+ * (soc) parameters: baselines are single-thread single-core runs,
+ * so sweep points differing only in cores/allocator correctly share
+ * one baseline. Used as the BaselineCache key.
  */
 std::string configKey(const SimConfig &cfg);
 

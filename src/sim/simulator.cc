@@ -50,7 +50,9 @@ Simulator::Simulator(const SimConfig &cfg_,
 }
 
 void
-Simulator::prewarm()
+prewarmMemory(MemorySystem &mem,
+              const std::vector<std::string> &benches,
+              const std::vector<Addr> &addrBases)
 {
     // Traces stand for the middle of a long-running execution
     // (SimPoint-style), so the frequently reused regions -- code,
@@ -58,56 +60,64 @@ Simulator::prewarm()
     // resident, as they would be hundreds of millions of
     // instructions in. The far/stream regions stay cold on purpose:
     // missing on them *is* their steady state.
-    constexpr Addr threadStride =
-        0x10000000000ull + 81 * 64; // pipeline's base
-    const int line = cfg.mem.l1d.lineSize;
-    const Addr page = cfg.mem.dtlb.pageBytes;
+    SMT_ASSERT(benches.size() == addrBases.size(),
+               "prewarm bases/benches mismatch");
+    const int n = static_cast<int>(benches.size());
+    const int line = mem.params().l1d.lineSize;
+    const Addr page = mem.params().dtlb.pageBytes;
 
     // Fill order matters when the combined footprints exceed the L2:
     // least-critical first (mid), code last, and code interleaved
     // across threads so no thread's working set is wiped wholesale.
-    for (int t = 0; t < cfg.core.numThreads; ++t) {
-        const Addr base = static_cast<Addr>(t) * threadStride;
-        const BenchProfile &prof = benchProfile(benchNames[t]);
+    for (int t = 0; t < n; ++t) {
+        const Addr base = addrBases[t];
+        const BenchProfile &prof = benchProfile(benches[t]);
         for (Addr off = 0; off < prof.midBytes;
              off += static_cast<Addr>(line)) {
-            mem->l2().fill(base + layout::midBase + off);
+            mem.l2().fill(base + layout::midBase + off);
         }
         for (Addr off = 0; off < prof.midBytes; off += page)
-            mem->dtlb(t).access(base + layout::midBase + off);
+            mem.dtlb(t).access(base + layout::midBase + off);
     }
-    for (int t = 0; t < cfg.core.numThreads; ++t) {
-        const Addr base = static_cast<Addr>(t) * threadStride;
-        const BenchProfile &prof = benchProfile(benchNames[t]);
+    for (int t = 0; t < n; ++t) {
+        const Addr base = addrBases[t];
+        const BenchProfile &prof = benchProfile(benches[t]);
         for (Addr off = 0; off < prof.nearBytes;
              off += static_cast<Addr>(line)) {
             const Addr a = base + layout::nearBase + off;
-            mem->l1d().fill(a);
-            mem->l2().fill(a);
+            mem.l1d().fill(a);
+            mem.l2().fill(a);
         }
         for (Addr off = 0; off < prof.nearBytes; off += page)
-            mem->dtlb(t).access(base + layout::nearBase + off);
+            mem.dtlb(t).access(base + layout::nearBase + off);
         for (Addr off = 0; off < prof.codeFootprint; off += page)
-            mem->itlb(t).access(base + layout::codeBase + off);
+            mem.itlb(t).access(base + layout::codeBase + off);
     }
     Addr maxCode = 0;
-    for (int t = 0; t < cfg.core.numThreads; ++t) {
+    for (int t = 0; t < n; ++t)
         maxCode = std::max(maxCode,
-                           benchProfile(benchNames[t]).codeFootprint);
-    }
+                           benchProfile(benches[t]).codeFootprint);
     for (Addr off = 0; off < maxCode;
          off += static_cast<Addr>(line)) {
-        for (int t = 0; t < cfg.core.numThreads; ++t) {
-            const BenchProfile &prof = benchProfile(benchNames[t]);
+        for (int t = 0; t < n; ++t) {
+            const BenchProfile &prof = benchProfile(benches[t]);
             if (off >= prof.codeFootprint)
                 continue;
-            const Addr a = static_cast<Addr>(t) * threadStride +
-                layout::codeBase + off;
-            mem->l1i().fill(a);
-            mem->l2().fill(a);
+            const Addr a = addrBases[t] + layout::codeBase + off;
+            mem.l1i().fill(a);
+            mem.l2().fill(a);
         }
     }
-    mem->resetStats();
+    mem.resetStats();
+}
+
+void
+Simulator::prewarm()
+{
+    std::vector<Addr> bases;
+    for (int t = 0; t < cfg.core.numThreads; ++t)
+        bases.push_back(static_cast<Addr>(t) * threadAddrStride);
+    prewarmMemory(*mem, benchNames, bases);
 }
 
 Simulator::~Simulator() = default;

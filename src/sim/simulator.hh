@@ -20,6 +20,7 @@
 #include "core/smt_config.hh"
 #include "mem/memory_system.hh"
 #include "policy/factory.hh"
+#include "soc/soc_params.hh"
 #include "trace/generator.hh"
 
 namespace smt {
@@ -31,6 +32,9 @@ struct SimConfig
     MemParams mem;
     BpredParams bpred;
     PolicyParams policy;
+    /** Chip-level (CMP) shape; numCores == 1 leaves everything else
+     *  exactly the single-core machine (Simulator ignores soc). */
+    SocParams soc;
     std::uint64_t seed = 0x5eed;
 };
 
@@ -72,6 +76,20 @@ struct SimResult
 
     /** Mean outstanding memory-level loads over busy cycles (MLP). */
     double mlpBusyMean = 0.0;
+
+    /** @name Chip-level extras (multi-core runs only)
+     * Empty/zero for single-core runs so the single-core result is
+     * unchanged byte for byte. coreCommitHashes folds each core's
+     * per-context commit-stream hashes into one word per core — the
+     * committed streams are the chip's architectural ground truth,
+     * so these are what the 2-core golden test pins.
+     */
+    /** @{ */
+    std::vector<std::uint64_t> coreCommitHashes;
+    std::uint64_t migrations = 0;     //!< threads moved between cores
+    std::uint64_t llcAccesses = 0;    //!< shared-LLC accesses
+    std::uint64_t llcMisses = 0;      //!< shared-LLC misses
+    /** @} */
 
     /** IPC throughput (sum over threads). */
     double
@@ -153,6 +171,17 @@ class Simulator
     std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
     std::unique_ptr<Pipeline> pipe;
 };
+
+/**
+ * Pre-load one memory system's caches/TLBs with the hot regions of
+ * @p benches (one per hardware context, with @p addrBases giving
+ * each program's address-region base). Shared by Simulator and the
+ * chip layer, which must warm every core exactly the way the
+ * single-core machine is warmed. Ends with mem.resetStats().
+ */
+void prewarmMemory(MemorySystem &mem,
+                   const std::vector<std::string> &benches,
+                   const std::vector<Addr> &addrBases);
 
 } // namespace smt
 

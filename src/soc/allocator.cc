@@ -1,0 +1,263 @@
+#include "soc/allocator.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+namespace {
+
+/** Sort key with total deterministic order. */
+struct RankedThread
+{
+    int id;
+    double primary;
+    double secondary;
+};
+
+/**
+ * Quantize a metric into coarse buckets before ranking. Interval
+ * metrics are noisy (a few thousand commits per epoch, cache-cold
+ * right after a migration); ranking on raw values lets near-ties
+ * flip order every epoch and the chip thrash-migrates. Bucketing
+ * makes rankings — and therefore placements — stable unless
+ * behaviour genuinely changes.
+ */
+double
+quantize(double v, double step)
+{
+    return static_cast<double>(
+        static_cast<long long>(v / step));
+}
+
+/** Descending primary, ascending secondary, ascending id. */
+void
+sortRanked(std::vector<RankedThread> &v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const RankedThread &a, const RankedThread &b) {
+                  if (a.primary != b.primary)
+                      return a.primary > b.primary;
+                  if (a.secondary != b.secondary)
+                      return a.secondary < b.secondary;
+                  return a.id < b.id;
+              });
+}
+
+/**
+ * Static round-robin: the cold-start spread, forever. The reference
+ * point every other allocator is compared against — it never pays a
+ * migration and never reacts to behaviour.
+ */
+class RoundRobinAllocator : public ThreadToCoreAllocator
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    std::vector<int>
+    allocate(const ChipTopology &topo,
+             const std::vector<ThreadPerfSample> &metrics,
+             std::uint64_t) override
+    {
+        return spreadPlacement(topo, metrics.size());
+    }
+};
+
+/**
+ * Greedy IPC symbiosis: rank threads by interval committed IPC
+ * (high-ILP first, L1D miss rate breaking ties toward the less
+ * memory-bound thread) and deal them to cores serpentine-style
+ * (0..C-1 then C-1..0), so each core pairs high-ILP threads with
+ * memory-bound ones instead of stacking two of a kind — the
+ * intra-core policy then has complementary demand to arbitrate.
+ */
+class SymbiosisAllocator : public ThreadToCoreAllocator
+{
+  public:
+    const char *name() const override { return "symbiosis"; }
+
+    std::vector<int>
+    allocate(const ChipTopology &topo,
+             const std::vector<ThreadPerfSample> &metrics,
+             std::uint64_t epoch) override
+    {
+        if (epoch == 0)
+            return spreadPlacement(topo, metrics.size());
+
+        std::vector<RankedThread> ranked;
+        ranked.reserve(metrics.size());
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            ranked.push_back({static_cast<int>(i),
+                              quantize(metrics[i].ipc, 0.25),
+                              quantize(metrics[i].l1MissRate,
+                                       0.02)});
+        }
+        sortRanked(ranked);
+
+        std::vector<int> coreOf(metrics.size(), 0);
+        const int c = topo.numCores;
+        for (std::size_t k = 0; k < ranked.size(); ++k) {
+            const int lap = static_cast<int>(k) / c;
+            const int pos = static_cast<int>(k) % c;
+            coreOf[static_cast<std::size_t>(ranked[k].id)] =
+                (lap & 1) ? c - 1 - pos : pos;
+        }
+        return coreOf;
+    }
+};
+
+/**
+ * SYNPA-style metric-score allocator: condense each thread's
+ * interval behaviour into one memory-intensity score (LLC-bound
+ * misses per kilo-instruction plus scaled L1D miss rate, the two
+ * signals the SYNPA family feeds its per-pair predictors), then
+ * place threads most-intense-first onto the currently
+ * least-loaded core by accumulated score. This spreads bandwidth
+ * demand across cores and private hierarchies instead of pairing by
+ * IPC alone.
+ */
+class SynpaAllocator : public ThreadToCoreAllocator
+{
+  public:
+    const char *name() const override { return "synpa"; }
+
+    std::vector<int>
+    allocate(const ChipTopology &topo,
+             const std::vector<ThreadPerfSample> &metrics,
+             std::uint64_t epoch) override
+    {
+        if (epoch == 0)
+            return spreadPlacement(topo, metrics.size());
+
+        std::vector<RankedThread> ranked;
+        ranked.reserve(metrics.size());
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            const double score = metrics[i].l2Mpki +
+                100.0 * metrics[i].l1MissRate;
+            ranked.push_back({static_cast<int>(i),
+                              quantize(score, 4.0),
+                              quantize(metrics[i].ipc, 0.25)});
+        }
+        sortRanked(ranked);
+
+        std::vector<int> coreOf(metrics.size(), 0);
+        std::vector<double> load(
+            static_cast<std::size_t>(topo.numCores), 0.0);
+        std::vector<int> occupancy(
+            static_cast<std::size_t>(topo.numCores), 0);
+        for (const RankedThread &t : ranked) {
+            int best = -1;
+            for (int c = 0; c < topo.numCores; ++c) {
+                if (occupancy[c] >= topo.contextsPerCore)
+                    continue;
+                if (best < 0 || load[c] < load[best])
+                    best = c; // strict <: ties keep the lowest core
+            }
+            SMT_ASSERT(best >= 0, "no core has a free context");
+            coreOf[static_cast<std::size_t>(t.id)] = best;
+            load[static_cast<std::size_t>(best)] += t.primary;
+            ++occupancy[static_cast<std::size_t>(best)];
+        }
+        return coreOf;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<int>
+spreadPlacement(const ChipTopology &topo, std::size_t numThreads)
+{
+    std::vector<int> coreOf(numThreads, 0);
+    for (std::size_t i = 0; i < numThreads; ++i)
+        coreOf[i] = static_cast<int>(i) % topo.numCores;
+    return coreOf;
+}
+
+std::vector<int>
+canonicalizePlacement(const std::vector<int> &current,
+                      const std::vector<int> &proposed, int numCores)
+{
+    SMT_ASSERT(current.size() == proposed.size(),
+               "placement size mismatch");
+    // overlap[p][c]: threads that proposed group p shares with the
+    // threads currently on core c.
+    std::vector<std::vector<int>> overlap(
+        static_cast<std::size_t>(numCores),
+        std::vector<int>(static_cast<std::size_t>(numCores), 0));
+    for (std::size_t i = 0; i < proposed.size(); ++i)
+        ++overlap[proposed[i]][current[i]];
+
+    // Greedy maximum-overlap matching, deterministic: repeatedly take
+    // the (group, core) pair with the largest overlap; ties prefer
+    // the lower group id, then the lower core id.
+    std::vector<int> groupToCore(static_cast<std::size_t>(numCores),
+                                 -1);
+    std::vector<bool> coreUsed(static_cast<std::size_t>(numCores),
+                               false);
+    for (int round = 0; round < numCores; ++round) {
+        int bestG = -1, bestC = -1, bestOv = -1;
+        for (int g = 0; g < numCores; ++g) {
+            if (groupToCore[g] >= 0)
+                continue;
+            for (int c = 0; c < numCores; ++c) {
+                if (coreUsed[c])
+                    continue;
+                if (overlap[g][c] > bestOv) {
+                    bestOv = overlap[g][c];
+                    bestG = g;
+                    bestC = c;
+                }
+            }
+        }
+        groupToCore[bestG] = bestC;
+        coreUsed[bestC] = true;
+    }
+
+    std::vector<int> out(proposed.size());
+    for (std::size_t i = 0; i < proposed.size(); ++i)
+        out[i] = groupToCore[proposed[i]];
+    return out;
+}
+
+const char *
+allocatorKindName(AllocatorKind k)
+{
+    switch (k) {
+      case AllocatorKind::RoundRobin: return "round-robin";
+      case AllocatorKind::Symbiosis: return "symbiosis";
+      case AllocatorKind::Synpa: return "synpa";
+    }
+    panic("bad allocator kind %d", static_cast<int>(k));
+}
+
+AllocatorKind
+parseAllocatorKind(const std::string &name)
+{
+    if (name == "round-robin" || name == "rr" ||
+        name == "ROUND-ROBIN")
+        return AllocatorKind::RoundRobin;
+    if (name == "symbiosis" || name == "SYMBIOSIS")
+        return AllocatorKind::Symbiosis;
+    if (name == "synpa" || name == "SYNPA")
+        return AllocatorKind::Synpa;
+    fatal("unknown allocator '%s' (want round-robin, symbiosis or "
+          "synpa)", name.c_str());
+}
+
+std::unique_ptr<ThreadToCoreAllocator>
+makeAllocator(AllocatorKind k)
+{
+    switch (k) {
+      case AllocatorKind::RoundRobin:
+        return std::make_unique<RoundRobinAllocator>();
+      case AllocatorKind::Symbiosis:
+        return std::make_unique<SymbiosisAllocator>();
+      case AllocatorKind::Synpa:
+        return std::make_unique<SynpaAllocator>();
+    }
+    panic("bad allocator kind %d", static_cast<int>(k));
+}
+
+} // namespace smt

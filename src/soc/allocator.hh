@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thread-to-core allocation: which software threads share which SMT
+ * core. On a CMP this is the first-order resource decision — it is
+ * made *before* any intra-core fetch/allocation policy runs — and
+ * the follow-on literature (SYNPA-family thread-to-core allocation
+ * policies) shows it dominating intra-core effects for mixed
+ * workloads.
+ *
+ * An allocator maps per-thread interval metrics (committed IPC, L1D
+ * miss rate, LLC-bound misses per kilo-instruction) to a placement
+ * vector coreOf[thread]. The chip simulator calls it once at cycle
+ * zero with empty metrics (every allocator must fall back to the
+ * same deterministic id-order spread, so cold-start placement never
+ * differs between allocators) and then once per epoch.
+ *
+ * All allocators are pure functions of their inputs with total
+ * deterministic tie-breaking (thread id, then core id), which the
+ * chip's bit-reproducibility guarantee rests on.
+ */
+
+#ifndef DCRA_SMT_SOC_ALLOCATOR_HH
+#define DCRA_SMT_SOC_ALLOCATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "soc/soc_params.hh"
+
+namespace smt {
+
+/** Chip shape an allocator must respect. */
+struct ChipTopology
+{
+    int numCores = 1;
+    int contextsPerCore = 4;
+};
+
+/** One software thread's interval metrics (allocator inputs). */
+struct ThreadPerfSample
+{
+    double ipc = 0.0;        //!< committed IPC over the interval
+    double l1MissRate = 0.0; //!< L1D misses / accesses
+    double l2Mpki = 0.0;     //!< private-L2 misses per kilo-inst
+};
+
+/**
+ * Abstract thread-to-core allocation policy.
+ */
+class ThreadToCoreAllocator
+{
+  public:
+    virtual ~ThreadToCoreAllocator() = default;
+
+    /** Human-readable name ("round-robin", "symbiosis", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Decide a placement. @p metrics has one entry per software
+     * thread; epoch 0 is the cycle-zero call (metrics are all
+     * zeros and every allocator returns the id-order spread). Must
+     * return coreOf[thread] with every core's load at most
+     * topo.contextsPerCore.
+     */
+    virtual std::vector<int> allocate(
+        const ChipTopology &topo,
+        const std::vector<ThreadPerfSample> &metrics,
+        std::uint64_t epoch) = 0;
+};
+
+/** Instantiate an allocator. */
+std::unique_ptr<ThreadToCoreAllocator> makeAllocator(AllocatorKind k);
+
+/**
+ * The deterministic cold-start placement every allocator uses when
+ * it has no metrics: thread i on core i % numCores.
+ */
+std::vector<int> spreadPlacement(const ChipTopology &topo,
+                                 std::size_t numThreads);
+
+/**
+ * Relabel @p proposed's cores to maximise overlap with @p current
+ * (greedy maximum-overlap matching, deterministic tie-breaks): two
+ * placements that partition threads identically but name the cores
+ * differently would otherwise trigger pointless full-chip
+ * migrations. Returns the relabeled placement.
+ */
+std::vector<int> canonicalizePlacement(
+    const std::vector<int> &current, const std::vector<int> &proposed,
+    int numCores);
+
+} // namespace smt
+
+#endif // DCRA_SMT_SOC_ALLOCATOR_HH

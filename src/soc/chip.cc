@@ -1,0 +1,567 @@
+#include "soc/chip.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "trace/bench_profile.hh"
+
+namespace smt {
+
+ChipSimulator::CtxTotals
+ChipSimulator::CtxTotals::operator-(const CtxTotals &o) const
+{
+    CtxTotals r;
+    r.committed = committed - o.committed;
+    r.fetched = fetched - o.fetched;
+    r.fetchedWrongPath = fetchedWrongPath - o.fetchedWrongPath;
+    r.squashed = squashed - o.squashed;
+    r.condBranches = condBranches - o.condBranches;
+    r.mispredicts = mispredicts - o.mispredicts;
+    r.flushes = flushes - o.flushes;
+    r.l1dAccesses = l1dAccesses - o.l1dAccesses;
+    r.l1dMisses = l1dMisses - o.l1dMisses;
+    r.l2Accesses = l2Accesses - o.l2Accesses;
+    r.l2Misses = l2Misses - o.l2Misses;
+    return r;
+}
+
+ChipSimulator::CtxTotals &
+ChipSimulator::CtxTotals::operator+=(const CtxTotals &o)
+{
+    committed += o.committed;
+    fetched += o.fetched;
+    fetchedWrongPath += o.fetchedWrongPath;
+    squashed += o.squashed;
+    condBranches += o.condBranches;
+    mispredicts += o.mispredicts;
+    flushes += o.flushes;
+    l1dAccesses += o.l1dAccesses;
+    l1dMisses += o.l1dMisses;
+    l2Accesses += o.l2Accesses;
+    l2Misses += o.l2Misses;
+    return *this;
+}
+
+ChipSimulator::ChipSimulator(const SimConfig &cfg_,
+                             const std::vector<std::string> &benches,
+                             PolicyKind policyKind)
+    : ChipSimulator(cfg_, benches, policyKind,
+                    makeAllocator(cfg_.soc.allocator))
+{
+}
+
+ChipSimulator::ChipSimulator(
+    const SimConfig &cfg_, const std::vector<std::string> &benches,
+    PolicyKind policyKind,
+    std::unique_ptr<ThreadToCoreAllocator> allocator)
+    : cfg(cfg_), benchNames(benches),
+      nThreads(static_cast<int>(benches.size())),
+      nCores(cfg_.soc.numCores), alloc(std::move(allocator))
+{
+    if (nCores < 1)
+        fatal("chip needs at least one core (got %d)", nCores);
+    SMT_ASSERT(alloc != nullptr, "null allocator");
+    SMT_ASSERT(!benches.empty(), "empty workload");
+
+    // One core is exactly the single-core machine: context count
+    // follows the workload, as Simulator does. Multi-core chips have
+    // a fixed context capacity per core and threads move between
+    // cores, so capacity is part of the configuration.
+    nCtx = nCores == 1 ? nThreads : cfg.soc.contextsPerCore;
+    if (nCtx < 1 || nCtx > maxThreads) {
+        fatal("contexts per core %d out of range (1..%d)", nCtx,
+              maxThreads);
+    }
+    if (nThreads > nCores * nCtx) {
+        fatal("workload has %d threads; the chip offers %d cores x "
+              "%d contexts = %d",
+              nThreads, nCores, nCtx, nCores * nCtx);
+    }
+
+    buildChip(policyKind);
+    prewarmChip();
+}
+
+ChipSimulator::~ChipSimulator() = default;
+
+void
+ChipSimulator::buildChip(PolicyKind policyKind)
+{
+    cfg.core.numThreads = nCtx;
+
+    // Generator seeds are per software thread — the same formula as
+    // Simulator, and stable across migrations: a thread keeps its
+    // stream no matter which core it runs on.
+    for (int s = 0; s < nThreads; ++s) {
+        const BenchProfile &prof = benchProfile(benchNames[s]);
+        gens.push_back(std::make_unique<SyntheticTraceGenerator>(
+            prof, cfg.seed + 7919ull * static_cast<std::uint64_t>(s)));
+    }
+
+    if (nCores > 1) {
+        SharedCacheParams lp = cfg.soc.llc;
+        // The LLC's backing-memory latency always follows the
+        // hierarchy configuration (Figure 7 style sweeps move it).
+        lp.memLatency = cfg.mem.memLatency;
+        llc = std::make_unique<SharedCache>(lp, nCores);
+    }
+
+    // Initial placement: the allocator's cold-start decision (all
+    // allocators spread by id, so cold start never differs between
+    // them). Contexts are handed out in thread-id order, so the
+    // occupied contexts of every core form a prefix.
+    const ChipTopology topo{nCores, nCtx};
+    coreOf = alloc->allocate(
+        topo,
+        std::vector<ThreadPerfSample>(
+            static_cast<std::size_t>(nThreads)),
+        0);
+    SMT_ASSERT(static_cast<int>(coreOf.size()) == nThreads,
+               "allocator returned %zu placements for %d threads",
+               coreOf.size(), nThreads);
+    ctxOf.assign(static_cast<std::size_t>(nThreads), -1);
+    homes.resize(static_cast<std::size_t>(nThreads));
+    std::vector<int> nextCtx(static_cast<std::size_t>(nCores), 0);
+    for (int s = 0; s < nThreads; ++s) {
+        const int c = coreOf[s];
+        SMT_ASSERT(c >= 0 && c < nCores, "bad initial core %d", c);
+        ctxOf[s] = nextCtx[c]++;
+        SMT_ASSERT(ctxOf[s] < nCtx, "core %d over capacity", c);
+        homes[s].core = c;
+        homes[s].ctx = ctxOf[s];
+    }
+
+    cores.resize(static_cast<std::size_t>(nCores));
+    for (int c = 0; c < nCores; ++c) {
+        Core &core = cores[c];
+        core.mem = std::make_unique<MemorySystem>(cfg.mem, nCtx);
+        if (llc)
+            core.mem->attachLlc(llc.get(), c);
+        core.bpred =
+            std::make_unique<BranchPredictor>(cfg.bpred, nCtx);
+        core.pol = makePolicy(policyKind, cfg.policy);
+
+        std::vector<Pipeline::ThreadProgram> programs(
+            static_cast<std::size_t>(nCtx));
+        for (int s = 0; s < nThreads; ++s) {
+            if (coreOf[s] != c)
+                continue;
+            Pipeline::ThreadProgram &prog = programs[ctxOf[s]];
+            prog.trace = gens[s].get();
+            prog.profile = &gens[s]->profile();
+            prog.addrBase =
+                static_cast<Addr>(s) * threadAddrStride;
+        }
+        core.pipe = std::make_unique<Pipeline>(
+            cfg.core, *core.mem, *core.bpred, *core.pol,
+            std::move(programs));
+    }
+
+    intervalBase.assign(static_cast<std::size_t>(nThreads), {});
+    nextEpochAt = cfg.soc.epochCycles;
+}
+
+void
+ChipSimulator::prewarmChip()
+{
+    // Each core's private hierarchy is warmed exactly the way the
+    // single-core machine is (same helper, same order), over the
+    // threads initially placed on it.
+    for (int c = 0; c < nCores; ++c) {
+        std::vector<std::string> benches;
+        std::vector<Addr> bases;
+        for (int s = 0; s < nThreads; ++s) {
+            if (coreOf[s] != c)
+                continue;
+            benches.push_back(benchNames[s]);
+            bases.push_back(static_cast<Addr>(s) *
+                            threadAddrStride);
+        }
+        prewarmMemory(*cores[c].mem, benches, bases);
+    }
+
+    // The shared LLC starts holding every thread's near/mid/code
+    // regions (the same regions the private L2s hold).
+    if (llc) {
+        const int line = cfg.mem.l1d.lineSize;
+        for (int s = 0; s < nThreads; ++s) {
+            const Addr base =
+                static_cast<Addr>(s) * threadAddrStride;
+            const BenchProfile &prof = benchProfile(benchNames[s]);
+            for (Addr off = 0; off < prof.midBytes;
+                 off += static_cast<Addr>(line))
+                llc->fill(base + layout::midBase + off);
+            for (Addr off = 0; off < prof.nearBytes;
+                 off += static_cast<Addr>(line))
+                llc->fill(base + layout::nearBase + off);
+            for (Addr off = 0; off < prof.codeFootprint;
+                 off += static_cast<Addr>(line))
+                llc->fill(base + layout::codeBase + off);
+        }
+        llc->resetStats();
+    }
+}
+
+ChipSimulator::CtxTotals
+ChipSimulator::readCtx(int core, int ctx) const
+{
+    const PipelineStats &ps = cores[core].pipe->stats();
+    const MemorySystem &mem = *cores[core].mem;
+    CtxTotals t;
+    t.committed = ps.committed[ctx];
+    t.fetched = ps.fetched[ctx];
+    t.fetchedWrongPath = ps.fetchedWrongPath[ctx];
+    t.squashed = ps.squashed[ctx];
+    t.condBranches = ps.condBranches[ctx];
+    t.mispredicts = ps.mispredicts[ctx];
+    t.flushes = ps.flushes[ctx];
+    t.l1dAccesses = mem.l1dAccesses(ctx);
+    t.l1dMisses = mem.l1dMisses(ctx);
+    t.l2Accesses = mem.l2DataAccesses(ctx);
+    t.l2Misses = mem.l2DataMisses(ctx);
+    return t;
+}
+
+ChipSimulator::CtxTotals
+ChipSimulator::totalsOf(int thread) const
+{
+    const ThreadHome &h = homes[thread];
+    CtxTotals t = h.accum;
+    t += readCtx(h.core, h.ctx) - h.attachAt;
+    return t;
+}
+
+void
+ChipSimulator::tickAllCores()
+{
+    ++cycle;
+    for (Core &core : cores)
+        core.pipe->tick();
+}
+
+void
+ChipSimulator::resetAllStats()
+{
+    for (Core &core : cores) {
+        core.pipe->resetStats();
+        core.mem->resetStats();
+    }
+    if (llc)
+        llc->resetStats();
+    for (ThreadHome &h : homes) {
+        h.accum = {};
+        h.attachAt = {};
+    }
+    std::fill(intervalBase.begin(), intervalBase.end(), CtxTotals{});
+    intervalStart = cycle;
+}
+
+void
+ChipSimulator::runEpoch()
+{
+    ++epoch;
+    const Cycle dt = cycle - intervalStart;
+    if (dt == 0)
+        return;
+
+    std::vector<ThreadPerfSample> metrics(
+        static_cast<std::size_t>(nThreads));
+    for (int s = 0; s < nThreads; ++s) {
+        const CtxTotals now = totalsOf(s);
+        const CtxTotals iv = now - intervalBase[s];
+        ThreadPerfSample &m = metrics[s];
+        m.ipc = static_cast<double>(iv.committed) /
+            static_cast<double>(dt);
+        m.l1MissRate = iv.l1dAccesses
+            ? static_cast<double>(iv.l1dMisses) /
+                static_cast<double>(iv.l1dAccesses)
+            : 0.0;
+        m.l2Mpki = iv.committed
+            ? 1000.0 * static_cast<double>(iv.l2Misses) /
+                static_cast<double>(iv.committed)
+            : 0.0;
+        intervalBase[s] = now;
+    }
+    intervalStart = cycle;
+
+    const ChipTopology topo{nCores, nCtx};
+    std::vector<int> proposed = alloc->allocate(topo, metrics, epoch);
+    SMT_ASSERT(static_cast<int>(proposed.size()) == nThreads,
+               "allocator returned %zu placements for %d threads",
+               proposed.size(), nThreads);
+    std::vector<int> occ(static_cast<std::size_t>(nCores), 0);
+    for (const int c : proposed) {
+        SMT_ASSERT(c >= 0 && c < nCores, "allocator placed a thread "
+                   "on core %d of %d", c, nCores);
+        ++occ[c];
+    }
+    for (int c = 0; c < nCores; ++c)
+        SMT_ASSERT(occ[c] <= nCtx, "allocator over-filled core %d", c);
+
+    // Two placements naming the same partition differently must not
+    // cause migrations: relabel for maximum overlap first.
+    const std::vector<int> canon =
+        canonicalizePlacement(coreOf, proposed, nCores);
+    // Debug aid: SMT_SOC_TRACE=1 dumps every epoch's metrics and
+    // placement decision to stderr.
+    if (std::getenv("SMT_SOC_TRACE")) {
+        std::fprintf(stderr, "epoch %llu cycle %llu:", (unsigned long long)epoch, (unsigned long long)cycle);
+        for (int s2 = 0; s2 < nThreads; ++s2)
+            std::fprintf(stderr, " %s:ipc=%.3f,cur=%d,prop=%d", benchNames[s2].c_str(), metrics[s2].ipc, coreOf[s2], canon[s2]);
+        std::fprintf(stderr, "\n");
+    }
+    if (canon == coreOf) {
+        lastProposal.clear();
+        return;
+    }
+
+    // Debounce: migrations squash in-flight work and run the new
+    // core's private caches cold, so a change must survive two
+    // consecutive epochs (one interval of which is migration-free)
+    // before the chip pays for it. Kills metric-noise ping-pong.
+    // Proposals are compared as *partitions* (relabel one onto the
+    // other first): the same grouping can come back with different
+    // core labels when every overlap with the current placement
+    // ties, and that must still count as a confirmation.
+    if (lastProposal.empty() ||
+        canonicalizePlacement(lastProposal, canon, nCores) !=
+            lastProposal) {
+        lastProposal = canon;
+        return;
+    }
+    lastProposal.clear();
+
+    pendingPlacement = canon;
+    migrating = true;
+    drainDeadline = cycle + cfg.soc.drainTimeout;
+    for (int s = 0; s < nThreads; ++s) {
+        if (pendingPlacement[s] != coreOf[s])
+            cores[coreOf[s]].pipe->beginDrain(ctxOf[s]);
+    }
+}
+
+void
+ChipSimulator::completeMigration()
+{
+    // Detach every mover (thread-id order), banking its counters.
+    for (int s = 0; s < nThreads; ++s) {
+        if (pendingPlacement[s] == coreOf[s])
+            continue;
+        ThreadHome &h = homes[s];
+        h.accum += readCtx(h.core, h.ctx) - h.attachAt;
+        cores[h.core].pipe->detachThread(h.ctx);
+    }
+
+    // Free contexts on each core = capacity minus the stayers.
+    std::vector<std::vector<bool>> used(
+        static_cast<std::size_t>(nCores),
+        std::vector<bool>(static_cast<std::size_t>(nCtx), false));
+    for (int s = 0; s < nThreads; ++s) {
+        if (pendingPlacement[s] == coreOf[s])
+            used[coreOf[s]][ctxOf[s]] = true;
+    }
+
+    // Attach movers (thread-id order) to the lowest free context of
+    // their new core — fully deterministic.
+    for (int s = 0; s < nThreads; ++s) {
+        if (pendingPlacement[s] == coreOf[s])
+            continue;
+        const int c = pendingPlacement[s];
+        int ctx = -1;
+        for (int k = 0; k < nCtx; ++k) {
+            if (!used[c][k]) {
+                ctx = k;
+                break;
+            }
+        }
+        SMT_ASSERT(ctx >= 0, "no free context on core %d", c);
+        used[c][ctx] = true;
+
+        Pipeline::ThreadProgram prog;
+        prog.trace = gens[s].get();
+        prog.profile = &gens[s]->profile();
+        prog.addrBase = static_cast<Addr>(s) * threadAddrStride;
+        cores[c].pipe->attachThread(ctx, prog);
+
+        coreOf[s] = c;
+        ctxOf[s] = ctx;
+        homes[s].core = c;
+        homes[s].ctx = ctx;
+        homes[s].attachAt = readCtx(c, ctx);
+        ++nMigrations;
+    }
+
+    migrating = false;
+    pendingPlacement.clear();
+    if (auditPeriod)
+        auditInvariants();
+}
+
+SimResult
+ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
+                   std::uint64_t warmupCommits)
+{
+    // The epoch/migration machinery runs in warmup and measurement
+    // alike (it is machine behaviour, not a statistic); with one
+    // core there is nowhere to move, so it is skipped entirely and
+    // this loop is exactly Simulator::run's.
+    auto chipWork = [this]() {
+        if (nCores <= 1)
+            return;
+        if (migrating) {
+            bool allIdle = true;
+            for (int s = 0; s < nThreads && allIdle; ++s) {
+                if (pendingPlacement[s] != coreOf[s] &&
+                    !cores[coreOf[s]].pipe->drainComplete(ctxOf[s]))
+                    allIdle = false;
+            }
+            if (allIdle || cycle >= drainDeadline)
+                completeMigration();
+        } else if (cfg.soc.epochCycles > 0 && cycle >= nextEpochAt) {
+            nextEpochAt = cycle + cfg.soc.epochCycles;
+            runEpoch();
+        }
+        if (auditPeriod && cycle % auditPeriod == 0)
+            auditInvariants();
+    };
+
+    if (warmupCommits > 0) {
+        bool warm = false;
+        while (!warm && cycle < maxCycles) {
+            tickAllCores();
+            chipWork();
+            for (int s = 0; s < nThreads; ++s) {
+                if (committedOf(s) >= warmupCommits) {
+                    warm = true;
+                    break;
+                }
+            }
+        }
+        resetAllStats();
+    }
+
+    const Cycle statsStart = cycle;
+    std::vector<std::uint64_t> slowCycles(
+        static_cast<std::size_t>(nThreads) + 1, 0);
+    Histogram mlp(64);
+
+    bool done = false;
+    while (!done && cycle < maxCycles) {
+        tickAllCores();
+        chipWork();
+
+        int nSlow = 0;
+        for (int s = 0; s < nThreads; ++s) {
+            if (cores[coreOf[s]].mem->pendingL1DLoads(ctxOf[s]) > 0)
+                ++nSlow;
+        }
+        ++slowCycles[static_cast<std::size_t>(nSlow)];
+        std::uint64_t memLoads = 0;
+        for (const Core &core : cores) {
+            memLoads += static_cast<std::uint64_t>(
+                core.mem->outstandingMemLoads());
+        }
+        mlp.sample(memLoads);
+
+        for (int s = 0; s < nThreads; ++s) {
+            if (committedOf(s) >= commitLimit) {
+                done = true;
+                break;
+            }
+        }
+    }
+
+    if (!done) {
+        warn("run hit the cycle cap (%llu) before any thread "
+             "committed %llu instructions",
+             static_cast<unsigned long long>(maxCycles),
+             static_cast<unsigned long long>(commitLimit));
+    }
+
+    SimResult res;
+    res.cycles = cycle - statsStart;
+    res.slowPhaseCycles = std::move(slowCycles);
+    res.mlpBusyMean = mlp.meanNonZero();
+    for (int s = 0; s < nThreads; ++s) {
+        const CtxTotals t = totalsOf(s);
+        ThreadResult tr;
+        tr.bench = benchNames[s];
+        tr.committed = t.committed;
+        tr.ipc = res.cycles
+            ? static_cast<double>(t.committed) /
+                static_cast<double>(res.cycles)
+            : 0.0;
+        tr.fetched = t.fetched;
+        tr.fetchedWrongPath = t.fetchedWrongPath;
+        tr.squashed = t.squashed;
+        tr.condBranches = t.condBranches;
+        tr.mispredicts = t.mispredicts;
+        tr.flushes = t.flushes;
+        tr.l1dAccesses = t.l1dAccesses;
+        tr.l1dMisses = t.l1dMisses;
+        tr.l2Accesses = t.l2Accesses;
+        tr.l2Misses = t.l2Misses;
+        res.threads.push_back(std::move(tr));
+    }
+
+    if (nCores > 1) {
+        // Fold each core's per-context commit-stream hashes into one
+        // word per core: the chip's architectural ground truth, and
+        // what the checked-in 2-core golden pins.
+        for (int c = 0; c < nCores; ++c) {
+            const PipelineStats &ps = cores[c].pipe->stats();
+            std::uint64_t h = 0;
+            for (int k = 0; k < nCtx; ++k)
+                h = (h ^ ps.commitHash[k]) * 0x9e3779b97f4a7c15ull;
+            res.coreCommitHashes.push_back(h);
+        }
+        res.migrations = nMigrations;
+        res.llcAccesses = llc->totalAccesses();
+        res.llcMisses = llc->totalMisses();
+    }
+    return res;
+}
+
+void
+ChipSimulator::auditInvariants() const
+{
+    for (const Core &core : cores)
+        core.pipe->auditInvariants();
+    if (llc)
+        llc->auditInvariants();
+
+    // Chip-level placement bookkeeping: every thread sits on exactly
+    // one (core, context), within capacity, and that context is
+    // active on its pipeline; every unoccupied context is idle.
+    std::vector<std::vector<int>> who(
+        static_cast<std::size_t>(nCores),
+        std::vector<int>(static_cast<std::size_t>(nCtx), -1));
+    for (int s = 0; s < nThreads; ++s) {
+        const int c = coreOf[s];
+        const int k = ctxOf[s];
+        SMT_ASSERT(c >= 0 && c < nCores && k >= 0 && k < nCtx,
+                   "thread %d placed off-chip", s);
+        SMT_ASSERT(who[c][k] < 0,
+                   "threads %d and %d share core %d ctx %d",
+                   who[c][k], s, c, k);
+        who[c][k] = s;
+        SMT_ASSERT(cores[c].pipe->contextActive(k),
+                   "thread %d's context is idle", s);
+        SMT_ASSERT(homes[s].core == c && homes[s].ctx == k,
+                   "thread %d home out of sync", s);
+    }
+    for (int c = 0; c < nCores; ++c) {
+        for (int k = 0; k < nCtx; ++k) {
+            if (who[c][k] < 0) {
+                SMT_ASSERT(!cores[c].pipe->contextActive(k),
+                           "unowned context %d/%d is active", c, k);
+            }
+        }
+    }
+}
+
+} // namespace smt

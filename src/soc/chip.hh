@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Chip-level simulation driver (CMP): N independent SMT cores —
+ * each a full Pipeline with its own policy instance, private
+ * L1s/L2, TLBs and branch predictor — in front of a shared
+ * last-level cache and bus, plus a ThreadToCoreAllocator that
+ * decides which software threads share a core and periodically
+ * reallocates them via a drain-squash-migrate handoff.
+ *
+ * Determinism: cores tick in core-id order inside every chip cycle,
+ * migrations execute between ticks in thread-id order, and every
+ * allocator breaks ties deterministically, so a chip run is
+ * bit-reproducible (and independent of any host parallelism in the
+ * sweep runner, which runs whole chips per job).
+ *
+ * A 1-core chip *is* the single-core machine: same construction,
+ * same prewarm, same run loop, no LLC interposed — ChipSimulator
+ * with numCores == 1 reproduces Simulator's results byte for byte
+ * (pinned by the golden equality test).
+ */
+
+#ifndef DCRA_SMT_SOC_CHIP_HH
+#define DCRA_SMT_SOC_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "core/pipeline.hh"
+#include "mem/memory_system.hh"
+#include "mem/shared_cache.hh"
+#include "policy/factory.hh"
+#include "sim/simulator.hh"
+#include "soc/allocator.hh"
+#include "trace/generator.hh"
+
+namespace smt {
+
+/**
+ * One chip-level simulation instance. Construct, run once, read the
+ * result (same one-shot contract as Simulator).
+ */
+class ChipSimulator
+{
+  public:
+    /**
+     * @param cfg full configuration; cfg.soc shapes the chip. With
+     *        numCores == 1 the context count is forced to the
+     *        workload size (exactly what Simulator does) and no LLC
+     *        is interposed.
+     * @param benches one profile name per software thread; at most
+     *        numCores x contextsPerCore.
+     * @param policyKind intra-core policy, instantiated per core.
+     */
+    ChipSimulator(const SimConfig &cfg,
+                  const std::vector<std::string> &benches,
+                  PolicyKind policyKind);
+
+    /** Same, but with an injected allocator (tests). */
+    ChipSimulator(const SimConfig &cfg,
+                  const std::vector<std::string> &benches,
+                  PolicyKind policyKind,
+                  std::unique_ptr<ThreadToCoreAllocator> allocator);
+
+    ~ChipSimulator();
+
+    /**
+     * Run until the first software thread commits commitLimit
+     * instructions or maxCycles elapse — the same termination rule,
+     * warmup handling and phase/MLP sampling as Simulator::run, so
+     * the single-core configuration is byte-identical.
+     */
+    SimResult run(std::uint64_t commitLimit,
+                  Cycle maxCycles = 50'000'000,
+                  std::uint64_t warmupCommits = 0);
+
+    /** Audit every core's pipeline plus the chip-level placement
+     *  bookkeeping and LLC arbitration; panics on violation. */
+    void auditInvariants() const;
+
+    /** @name Introspection for tests */
+    /** @{ */
+    int numCores() const { return nCores; }
+    int contextsPerCore() const { return nCtx; }
+    Pipeline &pipeline(int core) { return *cores[core].pipe; }
+    MemorySystem &memory(int core) { return *cores[core].mem; }
+    SharedCache *llcOrNull() { return llc.get(); }
+    /** Core each software thread currently runs on. */
+    const std::vector<int> &placement() const { return coreOf; }
+    /** Completed drain-squash-migrate handoffs (threads moved). */
+    std::uint64_t migrations() const { return nMigrations; }
+    /** Audit every auditEvery cycles during run() (0 = off). */
+    void setAuditInterval(Cycle auditEvery) { auditPeriod = auditEvery; }
+    /** @} */
+
+  private:
+    struct Core
+    {
+        std::unique_ptr<MemorySystem> mem;
+        std::unique_ptr<BranchPredictor> bpred;
+        std::unique_ptr<Policy> pol;
+        std::unique_ptr<Pipeline> pipe;
+    };
+
+    /** Cumulative per-(core,context) counters a software thread
+     *  accrues between attach and detach. */
+    struct CtxTotals
+    {
+        std::uint64_t committed = 0;
+        std::uint64_t fetched = 0;
+        std::uint64_t fetchedWrongPath = 0;
+        std::uint64_t squashed = 0;
+        std::uint64_t condBranches = 0;
+        std::uint64_t mispredicts = 0;
+        std::uint64_t flushes = 0;
+        std::uint64_t l1dAccesses = 0;
+        std::uint64_t l1dMisses = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Misses = 0;
+
+        CtxTotals operator-(const CtxTotals &o) const;
+        CtxTotals &operator+=(const CtxTotals &o);
+    };
+
+    /** Where a software thread lives and what it accrued. */
+    struct ThreadHome
+    {
+        int core = 0;
+        int ctx = 0;
+        CtxTotals accum;    //!< totals from previous homes
+        CtxTotals attachAt; //!< current home's counters at attach
+    };
+
+    void buildChip(PolicyKind policyKind);
+    void prewarmChip();
+    void tickAllCores();
+    void resetAllStats();
+
+    CtxTotals readCtx(int core, int ctx) const;
+    CtxTotals totalsOf(int thread) const;
+
+    /** Just the committed count — the run loop polls this for every
+     *  thread every cycle, so it must not assemble all 11 counters
+     *  the way totalsOf() does. */
+    std::uint64_t
+    committedOf(int thread) const
+    {
+        const ThreadHome &h = homes[thread];
+        return h.accum.committed +
+            cores[h.core].pipe->stats().committed[h.ctx] -
+            h.attachAt.committed;
+    }
+
+    /** Collect interval metrics and consult the allocator; starts a
+     *  migration (drain phase) when the placement changes. */
+    void runEpoch();
+    /** Detach every drained mover and attach it to its new home. */
+    void completeMigration();
+
+    SimConfig cfg;
+    std::vector<std::string> benchNames;
+    int nThreads;
+    int nCores;
+    int nCtx;
+
+    std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
+    std::unique_ptr<SharedCache> llc;
+    std::vector<Core> cores;
+    std::unique_ptr<ThreadToCoreAllocator> alloc;
+
+    std::vector<int> coreOf;  //!< placement: thread -> core
+    std::vector<int> ctxOf;   //!< thread -> context on its core
+    std::vector<ThreadHome> homes;
+
+    /** @name Epoch / migration state machine */
+    /** @{ */
+    std::uint64_t epoch = 0;
+    Cycle nextEpochAt = 0;
+    std::vector<CtxTotals> intervalBase; //!< totals at last epoch
+    Cycle intervalStart = 0;
+    bool migrating = false;
+    Cycle drainDeadline = 0;
+    std::vector<int> pendingPlacement;
+    /** Debounce: a changed placement must be proposed in two
+     *  consecutive epochs before the chip pays for the migration. */
+    std::vector<int> lastProposal;
+    std::uint64_t nMigrations = 0;
+    /** @} */
+
+    Cycle cycle = 0;
+    Cycle auditPeriod = 0;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_SOC_CHIP_HH

@@ -39,6 +39,7 @@
 #include "runner/runner.hh"
 #include "sim/simulator.hh"
 #include "sim/workload.hh"
+#include "soc/chip.hh"
 #include "trace/bench_profile.hh"
 
 namespace {
@@ -64,12 +65,22 @@ usage()
         "  --iq N               entries per issue queue\n"
         "  --seed N             workload generation seed\n"
         "  --perfect-dcache     all data accesses hit L1\n"
+        "  --cores N            SMT cores on the chip (default 1 =\n"
+        "                       the paper's single-core machine)\n"
+        "  --contexts N         hardware contexts per core in\n"
+        "                       multi-core mode (default 4)\n"
+        "  --allocator NAME     thread-to-core allocator:\n"
+        "                       round-robin symbiosis synpa\n"
+        "  --epoch N            cycles between reallocations\n"
+        "                       (0 disables; default 20000)\n"
         "  --json               emit the sweep JSON schema instead\n"
         "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
         "  --list-workloads     show the paper's Table 4 workloads\n"
-        "  --selftest           10k-cycle 2-thread DCRA smoke run;\n"
-        "                       exits nonzero on NaN or zero IPC\n"
+        "  --selftest           10k-cycle 2-thread DCRA smoke run\n"
+        "                       plus a 2-core chip smoke; exits\n"
+        "                       nonzero on NaN/zero IPC or\n"
+        "                       nondeterminism\n"
         "\n"
         "sweep options (grid = workloads x policies x configs):\n"
         "  --benches a+b,c+d    ad-hoc workloads ('+' joins the\n"
@@ -83,6 +94,11 @@ usage()
         "  --l2-latency a,b     L2-latency axis (cycles)\n"
         "  --regs a,b           register-file-size axis\n"
         "  --iq a,b             issue-queue-size axis\n"
+        "  --cores a,b          chip-size axis (cores > 1 run on\n"
+        "                       the CMP layer)\n"
+        "  --allocator a,b      thread-to-core allocator axis\n"
+        "  --contexts N         contexts per core (multi-core)\n"
+        "  --epoch N            reallocation epoch in cycles\n"
         "  --commits N          per-run commit budget (default\n"
         "                       60000)\n"
         "  --warmup N           warmup commits (default 10000)\n"
@@ -131,9 +147,58 @@ selftest()
                      static_cast<unsigned long long>(ps.cycles));
         ok = false;
     }
-    std::printf("selftest: %s (throughput %.3f over %llu cycles)\n",
+
+    // Second leg: a 2-core chip with an active allocator, so the
+    // smoke mode covers the CMP layer (migrations included). Run it
+    // twice: the chip must be bit-deterministic.
+    SimConfig ccfg; // default seed: the migration-rich scenario
+    ccfg.soc.numCores = 2;
+    ccfg.soc.contextsPerCore = 2;
+    ccfg.soc.allocator = AllocatorKind::Symbiosis;
+    ccfg.soc.epochCycles = 700; // short: the smoke run must migrate
+    ccfg.soc.drainTimeout = 200;
+    // This order cold-spreads the two memory hogs onto one core
+    // (mcf+art), which the symbiosis allocator then corrects — the
+    // smoke run covers a real migration.
+    const std::vector<std::string> chipMix = {"mcf", "gzip", "art",
+                                              "crafty"};
+    auto chipRun = [&]() {
+        ChipSimulator chip(ccfg, chipMix, PolicyKind::Dcra);
+        const SimResult r = chip.run(8'000, 200'000);
+        chip.auditInvariants();
+        return r;
+    };
+    const SimResult c1 = chipRun();
+    const SimResult c2 = chipRun();
+    double chipTp = 0.0;
+    for (const ThreadResult &t : c1.threads) {
+        if (std::isnan(t.ipc) || t.ipc <= 0.0) {
+            std::fprintf(stderr,
+                         "selftest: chip thread %s IPC %.4f is "
+                         "NaN/zero\n", t.bench.c_str(), t.ipc);
+            ok = false;
+        }
+        chipTp += t.ipc;
+    }
+    if (c1.cycles != c2.cycles ||
+        c1.coreCommitHashes != c2.coreCommitHashes ||
+        c1.migrations != c2.migrations) {
+        std::fprintf(stderr, "selftest: 2-core chip run is not "
+                     "deterministic\n");
+        ok = false;
+    }
+    if (c1.migrations == 0) {
+        std::fprintf(stderr, "selftest: 2-core chip never "
+                     "migrated a thread\n");
+        ok = false;
+    }
+    std::printf("selftest: %s (throughput %.3f over %llu cycles; "
+                "2-core chip %.3f over %llu cycles, %llu "
+                "migrations)\n",
                 ok ? "PASS" : "FAIL", throughput,
-                static_cast<unsigned long long>(ps.cycles));
+                static_cast<unsigned long long>(ps.cycles), chipTp,
+                static_cast<unsigned long long>(c1.cycles),
+                static_cast<unsigned long long>(c1.migrations));
     return ok ? 0 : 1;
 }
 
@@ -160,25 +225,47 @@ splitCommas(const std::string &s)
     return splitOn(s, ',');
 }
 
+/** How many software threads a chip shape can hold. */
+struct ChipShape
+{
+    int cores = 1;
+    int contexts = maxThreads; //!< per core
+
+    int capacity() const { return cores * contexts; }
+};
+
 /**
- * Check a workload's benchmark list: 1..maxThreads members, every
- * name known. Reports to stderr and returns false on any problem,
- * so callers can exit nonzero instead of hitting fatal() (or
- * undefined behaviour) deep inside the simulator.
+ * Check a workload's benchmark list: nonempty, within the chip's
+ * thread capacity (cores x contexts; a single core offers the
+ * model's maxThreads contexts), every name known. Reports to stderr
+ * and returns false on any problem, so callers can exit nonzero
+ * instead of hitting fatal() (or undefined behaviour) deep inside
+ * the simulator.
  */
 bool
-validateBenches(const std::vector<std::string> &benches)
+validateBenches(const std::vector<std::string> &benches,
+                const ChipShape &shape)
 {
     if (benches.empty() ||
         (benches.size() == 1 && benches[0].empty())) {
         std::fprintf(stderr, "error: empty workload\n");
         return false;
     }
-    if (benches.size() > static_cast<std::size_t>(maxThreads)) {
-        std::fprintf(stderr,
-                     "error: workload has %zu benchmarks; the model "
-                     "supports at most %d hardware contexts\n",
-                     benches.size(), maxThreads);
+    if (static_cast<int>(benches.size()) > shape.capacity()) {
+        if (shape.cores > 1) {
+            std::fprintf(stderr,
+                         "error: workload has %zu benchmarks, "
+                         "exceeding the chip's %d cores x %d "
+                         "contexts = %d threads\n",
+                         benches.size(), shape.cores, shape.contexts,
+                         shape.capacity());
+        } else {
+            std::fprintf(stderr,
+                         "error: workload has %zu benchmarks; the "
+                         "model supports at most %d hardware "
+                         "contexts (use --cores for more)\n",
+                         benches.size(), shape.capacity());
+        }
         return false;
     }
     const std::vector<std::string> &known = allBenchNames();
@@ -242,6 +329,8 @@ sweepMain(int argc, char **argv)
     spec.warmup = 10'000;
 
     std::vector<std::uint64_t> memLats, l2Lats, regSizes, iqSizes;
+    std::vector<std::uint64_t> coreCounts;
+    std::vector<AllocatorKind> allocKinds;
     std::string format = "table";
     std::string outPath;
     int jobs = 0;
@@ -254,11 +343,17 @@ sweepMain(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--benches") {
+            // Names and capacity are validated after the whole
+            // command line is parsed: the thread capacity depends
+            // on --cores/--contexts, which may come later.
             for (const std::string &spec_s : splitCommas(next())) {
                 const std::vector<std::string> benches =
                     splitOn(spec_s, '+');
-                if (!validateBenches(benches))
+                if (benches.empty() ||
+                    (benches.size() == 1 && benches[0].empty())) {
+                    std::fprintf(stderr, "error: empty workload\n");
                     return 1;
+                }
                 spec.workloads.push_back(adHocWorkload(benches));
             }
         } else if (arg == "--workloads") {
@@ -319,6 +414,25 @@ sweepMain(int argc, char **argv)
         } else if (arg == "--iq") {
             if (!parseU64List(next(), iqSizes))
                 fatal("bad --iq list");
+        } else if (arg == "--cores") {
+            if (!parseU64List(next(), coreCounts))
+                fatal("bad --cores list");
+        } else if (arg == "--allocator") {
+            for (const std::string &a : splitCommas(next()))
+                allocKinds.push_back(parseAllocatorKind(a));
+        } else if (arg == "--contexts") {
+            const int n =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (n < 1 || n > maxThreads) {
+                std::fprintf(stderr,
+                             "error: --contexts wants 1..%d\n",
+                             maxThreads);
+                return 1;
+            }
+            spec.base.soc.contextsPerCore = n;
+        } else if (arg == "--epoch") {
+            spec.base.soc.epochCycles =
+                std::strtoull(next(), nullptr, 10);
         } else if (arg == "--commits") {
             spec.commits = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--warmup") {
@@ -360,6 +474,33 @@ sweepMain(int argc, char **argv)
     if (spec.policies.empty())
         spec.policies = {PolicyKind::Icount, PolicyKind::Dcra};
 
+    // Every workload must fit every chip in the sweep. Capacity is
+    // not monotonic in the core count: one core offers maxThreads
+    // contexts, while a multi-core chip offers cores x --contexts —
+    // so validate against the tightest shape on the axis, not just
+    // the smallest core count.
+    ChipShape shape;
+    bool haveShape = false;
+    for (const std::uint64_t c : coreCounts) {
+        if (c < 1) {
+            std::fprintf(stderr, "error: --cores wants N >= 1\n");
+            return 1;
+        }
+        ChipShape cand; // c == 1: the single-core default shape
+        if (c > 1) {
+            cand.cores = static_cast<int>(c);
+            cand.contexts = spec.base.soc.contextsPerCore;
+        }
+        if (!haveShape || cand.capacity() < shape.capacity()) {
+            shape = cand;
+            haveShape = true;
+        }
+    }
+    for (const Workload &w : spec.workloads) {
+        if (!validateBenches(w.benches, shape))
+            return 1;
+    }
+
     const std::unique_ptr<ResultSink> sink = makeSink(format);
     if (!sink) {
         std::fprintf(stderr,
@@ -374,8 +515,13 @@ sweepMain(int argc, char **argv)
     auto axis = [](const std::vector<std::uint64_t> &v) {
         return v.empty() ? std::vector<std::uint64_t>{0} : v;
     };
-    for (const std::uint64_t ml : axis(memLats)) {
-        for (const std::uint64_t l2 : axis(l2Lats)) {
+    const std::vector<AllocatorKind> allocAxis = allocKinds.empty()
+        ? std::vector<AllocatorKind>{AllocatorKind::RoundRobin}
+        : allocKinds;
+    for (const std::uint64_t nc : axis(coreCounts)) {
+      for (const AllocatorKind ak : allocAxis) {
+        for (const std::uint64_t ml : axis(memLats)) {
+          for (const std::uint64_t l2 : axis(l2Lats)) {
             for (const std::uint64_t rg : axis(regSizes)) {
                 for (const std::uint64_t iq : axis(iqSizes)) {
                     ConfigOverride o;
@@ -387,6 +533,17 @@ sweepMain(int argc, char **argv)
                         o.label += '=';
                         o.label += std::to_string(v);
                     };
+                    if (!coreCounts.empty()) {
+                        o.numCores = static_cast<int>(nc);
+                        addPart("cores", nc);
+                    }
+                    if (!allocKinds.empty()) {
+                        o.allocator = ak;
+                        if (!o.label.empty())
+                            o.label += ',';
+                        o.label += "alloc=";
+                        o.label += allocatorKindName(ak);
+                    }
                     if (!memLats.empty()) {
                         o.memLatency = ml;
                         addPart("mem", ml);
@@ -407,7 +564,9 @@ sweepMain(int argc, char **argv)
                         spec.configs.push_back(std::move(o));
                 }
             }
+          }
         }
+      }
     }
 
     SweepRunner runner(std::move(spec), jobs);
@@ -461,6 +620,28 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--perfect-dcache") {
             cfg.mem.perfectDcache = true;
+        } else if (arg == "--cores") {
+            cfg.soc.numCores =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (cfg.soc.numCores < 1) {
+                std::fprintf(stderr, "error: --cores wants N >= 1\n");
+                return 1;
+            }
+        } else if (arg == "--contexts") {
+            cfg.soc.contextsPerCore =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (cfg.soc.contextsPerCore < 1 ||
+                cfg.soc.contextsPerCore > maxThreads) {
+                std::fprintf(stderr,
+                             "error: --contexts wants 1..%d\n",
+                             maxThreads);
+                return 1;
+            }
+        } else if (arg == "--allocator") {
+            cfg.soc.allocator = parseAllocatorKind(next());
+        } else if (arg == "--epoch") {
+            cfg.soc.epochCycles =
+                std::strtoull(next(), nullptr, 10);
         } else if (arg == "--json") {
             jsonOut = true;
         } else if (arg == "--list-benchmarks") {
@@ -493,7 +674,12 @@ main(int argc, char **argv)
         }
     }
 
-    if (!validateBenches(workload))
+    ChipShape shape;
+    if (cfg.soc.numCores > 1) {
+        shape.cores = cfg.soc.numCores;
+        shape.contexts = cfg.soc.contextsPerCore;
+    }
+    if (!validateBenches(workload, shape))
         return 1;
 
     if (jsonOut) {
@@ -513,13 +699,35 @@ main(int argc, char **argv)
         return emitOutput(JsonSink().render(results), "");
     }
 
-    Simulator sim(cfg, workload, policy);
-    const SimResult r = sim.run(commits, 100'000'000, warmup);
+    SimResult r;
+    if (cfg.soc.numCores > 1) {
+        ChipSimulator chip(cfg, workload, policy);
+        r = chip.run(commits, 100'000'000, warmup);
+    } else {
+        Simulator sim(cfg, workload, policy);
+        r = sim.run(commits, 100'000'000, warmup);
+    }
 
     std::printf("policy=%s cycles=%llu throughput=%.3f mlp=%.2f\n",
                 policyKindName(policy),
                 static_cast<unsigned long long>(r.cycles),
                 r.throughput(), r.mlpBusyMean);
+    if (cfg.soc.numCores > 1) {
+        const double llcMissPct = r.llcAccesses
+            ? 100.0 * static_cast<double>(r.llcMisses) /
+                static_cast<double>(r.llcAccesses)
+            : 0.0;
+        std::printf("chip: cores=%d contexts=%d allocator=%s "
+                    "epoch=%llu migrations=%llu llc-acc=%llu "
+                    "llc-miss=%.2f%%\n",
+                    cfg.soc.numCores, cfg.soc.contextsPerCore,
+                    allocatorKindName(cfg.soc.allocator),
+                    static_cast<unsigned long long>(
+                        cfg.soc.epochCycles),
+                    static_cast<unsigned long long>(r.migrations),
+                    static_cast<unsigned long long>(r.llcAccesses),
+                    llcMissPct);
+    }
     std::printf("%-8s %10s %7s %9s %9s %8s %8s %8s %8s\n", "thread",
                 "commits", "IPC", "fetched", "squashed", "misp%",
                 "L1D%", "L2%", "flushes");
