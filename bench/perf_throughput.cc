@@ -50,6 +50,7 @@ struct Mix
     const char *name;
     std::vector<std::string> benches;
     int cores = 1; //!< > 1: simulate a CMP (ChipSimulator)
+    const char *llcArbiter = "static"; //!< LLC arbiter (CMP only)
 };
 
 const std::vector<Mix> &
@@ -61,12 +62,17 @@ mixes()
     // issue stage's cost model matters most in. The 2C4T cell runs
     // the same four programs as two 2-thread cores on the CMP layer
     // (shared LLC, epoch allocator), tracking the chip subsystem's
-    // own simulation cost.
+    // own simulation cost; the 2C4T-DCRA cell runs it again under
+    // the chip-dcra LLC arbiter so the arbitration hot path (epoch
+    // share recomputes, per-access share reads) is tracked in the
+    // perf trajectory.
     static const std::vector<Mix> m = {
-        {"1T", {"gzip"}, 1},
-        {"2T", {"gzip", "mcf"}, 1},
-        {"4T", {"gzip", "mcf", "art", "crafty"}, 1},
-        {"2C4T", {"gzip", "mcf", "art", "crafty"}, 2},
+        {"1T", {"gzip"}, 1, "static"},
+        {"2T", {"gzip", "mcf"}, 1, "static"},
+        {"4T", {"gzip", "mcf", "art", "crafty"}, 1, "static"},
+        {"2C4T", {"gzip", "mcf", "art", "crafty"}, 2, "static"},
+        {"2C4T-DCRA", {"gzip", "mcf", "art", "crafty"}, 2,
+         "chip-dcra"},
     };
     return m;
 }
@@ -86,6 +92,7 @@ struct RunRecord
     std::string benches;
     int threads = 0;
     int cores = 1;
+    std::string llcArbiter = "static";
     std::string policy;
     std::uint64_t simCycles = 0;
     std::uint64_t simInsts = 0;
@@ -111,6 +118,8 @@ measure(const Mix &mix, PolicyKind policy, std::uint64_t commits,
                 static_cast<int>(mix.benches.size()) / mix.cores;
             cfg.soc.allocator = AllocatorKind::Symbiosis;
             cfg.soc.epochCycles = 2'000;
+            cfg.soc.llcArbiter = mix.llcArbiter;
+            cfg.soc.llc.arbEpoch = 1'000;
             ChipSimulator chip(cfg, mix.benches, policy);
             const auto t0 = std::chrono::steady_clock::now();
             out = chip.run(commits, 500'000'000);
@@ -144,6 +153,7 @@ measure(const Mix &mix, PolicyKind policy, std::uint64_t commits,
     }
     rec.threads = static_cast<int>(mix.benches.size());
     rec.cores = mix.cores;
+    rec.llcArbiter = mix.llcArbiter;
     rec.policy = policyKindName(policy);
     rec.simCycles = r.cycles;
     for (const ThreadResult &t : r.threads)
@@ -162,7 +172,8 @@ measure(const Mix &mix, PolicyKind policy, std::uint64_t commits,
 std::string
 renderFlat(const std::vector<RunRecord> &runs,
            const std::string &label, bool quick,
-           std::uint64_t commits, double agg4t, double agg2c4t)
+           std::uint64_t commits, double agg4t, double agg2c4t,
+           double agg2c4tDcra)
 {
     std::string out;
     char buf[512];
@@ -180,12 +191,12 @@ renderFlat(const std::vector<RunRecord> &runs,
         const RunRecord &r = runs[i];
         add("    {\"mix\": \"%s\", \"benches\": \"%s\", "
             "\"threads\": %d, \"cores\": %d, "
-            "\"policy\": \"%s\", "
+            "\"llc_arbiter\": \"%s\", \"policy\": \"%s\", "
             "\"sim_cycles\": %llu, \"sim_insts\": %llu, "
             "\"wall_seconds\": %.6f, \"mcycles_per_sec\": %.3f, "
             "\"mips\": %.3f}%s\n",
             r.mix.c_str(), r.benches.c_str(), r.threads, r.cores,
-            r.policy.c_str(),
+            r.llcArbiter.c_str(), r.policy.c_str(),
             static_cast<unsigned long long>(r.simCycles),
             static_cast<unsigned long long>(r.simInsts),
             r.wallSeconds, r.mcyclesPerSec, r.mips,
@@ -193,7 +204,9 @@ renderFlat(const std::vector<RunRecord> &runs,
     }
     add("  ],\n");
     add("  \"mcycles_per_sec_4t\": %.3f,\n", agg4t);
-    add("  \"mcycles_per_sec_2c4t\": %.3f\n}\n", agg2c4t);
+    add("  \"mcycles_per_sec_2c4t\": %.3f,\n", agg2c4t);
+    add("  \"mcycles_per_sec_2c4t_chipdcra\": %.3f\n}\n",
+        agg2c4tDcra);
     return out;
 }
 
@@ -286,8 +299,8 @@ main(int argc, char **argv)
         commits = quick ? 8'000 : 60'000;
 
     std::vector<RunRecord> runs;
-    std::uint64_t cycles4t = 0, cycles2c = 0;
-    double wall4t = 0.0, wall2c = 0.0;
+    std::uint64_t cycles4t = 0, cycles2c = 0, cycles2cDcra = 0;
+    double wall4t = 0.0, wall2c = 0.0, wall2cDcra = 0.0;
     bool anyZero = false;
     for (const Mix &mix : mixes()) {
         for (const PolicyKind pol : policies()) {
@@ -303,14 +316,20 @@ main(int argc, char **argv)
             if (rec.mcyclesPerSec <= 0.0)
                 anyZero = true;
             // The 4T aggregate tracks the single-core hot path only
-            // (comparable across PRs since PR 3); the chip cell has
-            // its own aggregate.
+            // (comparable across PRs since PR 3); the static chip
+            // cell keeps its own aggregate (comparable since PR 4)
+            // and the chip-dcra cell tracks the arbitration path
+            // separately so neither composition ever changes.
             if (rec.threads == 4 && rec.cores == 1) {
                 cycles4t += rec.simCycles;
                 wall4t += rec.wallSeconds;
-            } else if (rec.cores > 1) {
+            } else if (rec.cores > 1 &&
+                       rec.llcArbiter == "static") {
                 cycles2c += rec.simCycles;
                 wall2c += rec.wallSeconds;
+            } else if (rec.cores > 1) {
+                cycles2cDcra += rec.simCycles;
+                wall2cDcra += rec.wallSeconds;
             }
             runs.push_back(rec);
         }
@@ -321,9 +340,12 @@ main(int argc, char **argv)
     const double agg2c4t = wall2c > 0.0
         ? static_cast<double>(cycles2c) / wall2c / 1e6
         : 0.0;
+    const double agg2c4tDcra = wall2cDcra > 0.0
+        ? static_cast<double>(cycles2cDcra) / wall2cDcra / 1e6
+        : 0.0;
 
-    const std::string flat =
-        renderFlat(runs, label, quick, commits, agg4t, agg2c4t);
+    const std::string flat = renderFlat(runs, label, quick, commits,
+                                        agg4t, agg2c4t, agg2c4tDcra);
 
     std::string doc;
     if (!baselinePath.empty()) {

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Name-keyed factory registry shared by the policy factory
+ * (policy/factory.cc) and the LLC-arbiter factory
+ * (alloc/chip_arbiters.cc). One table per product family holds
+ * (name, entry) rows in registration order, so lookup, printable
+ * name and `--list-*` enumeration all come from a single source of
+ * truth instead of parallel switch statements.
+ */
+
+#ifndef DCRA_SMT_ALLOC_REGISTRY_HH
+#define DCRA_SMT_ALLOC_REGISTRY_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smt {
+
+/**
+ * Ordered name -> Entry table. Deliberately tiny: registration
+ * happens once at startup and the row count is ~10, so linear scans
+ * beat any map and keep enumeration order deterministic.
+ */
+template <typename Entry>
+class NamedRegistry
+{
+  public:
+    /** Register one row; names must be unique (first wins lookup). */
+    void
+    add(const char *name, Entry entry)
+    {
+        rows.emplace_back(name, std::move(entry));
+    }
+
+    /** Find a row by exact name; nullptr when absent. */
+    const Entry *
+    find(const std::string &name) const
+    {
+        for (const auto &r : rows) {
+            if (name == r.first)
+                return &r.second;
+        }
+        return nullptr;
+    }
+
+    /** Registered names in registration order. */
+    std::vector<const char *>
+    names() const
+    {
+        std::vector<const char *> out;
+        out.reserve(rows.size());
+        for (const auto &r : rows)
+            out.push_back(r.first);
+        return out;
+    }
+
+    /** All rows, for callers needing (name, entry) pairs. */
+    const std::vector<std::pair<const char *, Entry>> &
+    entries() const
+    {
+        return rows;
+    }
+
+  private:
+    std::vector<std::pair<const char *, Entry>> rows;
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_ALLOC_REGISTRY_HH

@@ -7,36 +7,57 @@
  * commit respectively), a pre-issue instruction count for ICOUNT
  * ordering, and per-resource last-allocation cycles from which the
  * activity classification is derived.
+ *
+ * The tracker *is* the core-level ResourceDomain instance of the
+ * hierarchical allocation API (alloc/resource_domain.hh): hardware
+ * contexts are the claimants and the five shared resources are the
+ * kinds, so core-level policies and chip-level arbiters read their
+ * usage state through one interface. The historical typed accessors
+ * (ResourceType-first argument order) are kept as the pipeline's
+ * hot-path entry points; they hide the base's (claimant, kind)
+ * overloads, which remain reachable through a ResourceDomain
+ * reference.
  */
 
 #ifndef DCRA_SMT_CORE_RESOURCE_TRACKER_HH
 #define DCRA_SMT_CORE_RESOURCE_TRACKER_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "alloc/resource_domain.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "core/resources.hh"
 
 namespace smt {
 
+/** The five core resource kinds, in ResourceType order. */
+inline std::vector<ResourceKind>
+coreResourceKinds()
+{
+    std::vector<ResourceKind> kinds;
+    kinds.reserve(NumResourceTypes);
+    for (int r = 0; r < NumResourceTypes; ++r) {
+        // Capacities live in SmtConfig (resourceTotal) because they
+        // depend on the run configuration; the domain only counts.
+        kinds.push_back({resourceName(static_cast<ResourceType>(r)),
+                         0});
+    }
+    return kinds;
+}
+
 /**
  * Counter block shared by the pipeline (writer) and policies
  * (readers).
  */
-class ResourceTracker
+class ResourceTracker : public ResourceDomain
 {
   public:
     /** @param numThreads hardware contexts. */
     explicit ResourceTracker(int numThreads)
-        : nThreads(numThreads)
+        : ResourceDomain("core", numThreads, coreResourceKinds())
     {
-        for (int r = 0; r < NumResourceTypes; ++r) {
-            for (int t = 0; t < maxThreads; ++t) {
-                occ[r][t] = 0;
-                lastAllocCycle[r][t] = 0;
-            }
-        }
         for (int t = 0; t < maxThreads; ++t) {
             preIssueCount[t] = 0;
             committedCount[t] = 0;
@@ -47,29 +68,26 @@ class ResourceTracker
     void
     allocate(ResourceType r, ThreadID t, Cycle now)
     {
-        ++occ[r][t];
-        lastAllocCycle[r][t] = now;
+        acquire(t, r, now);
     }
 
     /** Record release of one entry of a resource. */
     void
     release(ResourceType r, ThreadID t)
     {
-        SMT_ASSERT(occ[r][t] > 0, "release of %s below zero (tid %d)",
-                   resourceName(r), t);
-        --occ[r][t];
+        ResourceDomain::release(t, r);
     }
 
     /** Entries of resource r currently held by thread t. */
     int occupancy(ResourceType r, ThreadID t) const
     {
-        return occ[r][t];
+        return ResourceDomain::occupancy(t, r);
     }
 
     /** Cycle of thread t's most recent allocation of resource r. */
     Cycle lastAlloc(ResourceType r, ThreadID t) const
     {
-        return lastAllocCycle[r][t];
+        return lastAcquire(t, r);
     }
 
     /** @name ICOUNT pre-issue instruction counting */
@@ -94,12 +112,9 @@ class ResourceTracker
     /** @} */
 
     /** Number of contexts. */
-    int numThreads() const { return nThreads; }
+    int numThreads() const { return numClaimants(); }
 
   private:
-    int nThreads;
-    int occ[NumResourceTypes][maxThreads];
-    Cycle lastAllocCycle[NumResourceTypes][maxThreads];
     int preIssueCount[maxThreads];
     std::uint64_t committedCount[maxThreads];
 };

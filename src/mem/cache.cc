@@ -56,28 +56,34 @@ Cache::access(Addr addr)
     return false;
 }
 
-void
-Cache::fill(Addr addr)
+int
+Cache::fillWays(Addr addr, std::uint32_t wayMask)
 {
     const int set = setIndex(addr);
     const Addr tag = tagOf(addr);
     Line *base = &lines[static_cast<std::size_t>(set) * p.assoc];
-    Line *victim = &base[0];
+    Line *victim = nullptr;
     for (int w = 0; w < p.assoc; ++w) {
         if (base[w].valid && base[w].tag == tag) {
-            base[w].lruStamp = ++stampCounter;
-            return; // already present
+            base[w].lruStamp = ++stampCounter; // already present
+            return set * p.assoc + w;
         }
+        if (!((wayMask >> w) & 1u))
+            continue; // way owned by another claimant
         if (!base[w].valid) {
             victim = &base[w];
             break;
         }
-        if (base[w].lruStamp < victim->lruStamp)
+        if (!victim || base[w].lruStamp < victim->lruStamp)
             victim = &base[w];
     }
+    SMT_ASSERT(victim != nullptr,
+               "%s: way mask 0x%x allows none of %d ways",
+               p.name.c_str(), wayMask, p.assoc);
     victim->valid = true;
     victim->tag = tag;
     victim->lruStamp = ++stampCounter;
+    return static_cast<int>(victim - base) + set * p.assoc;
 }
 
 bool

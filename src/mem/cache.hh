@@ -46,7 +46,22 @@ class Cache
     bool access(Addr addr);
 
     /** Allocate (or refresh) the line containing addr. */
-    void fill(Addr addr);
+    void fill(Addr addr) { (void)fillWays(addr, allWays); }
+
+    /**
+     * Allocate (or refresh) the line, restricting victim selection
+     * to the ways whose bit is set in @p wayMask — the enforcement
+     * point for way partitioning. A line already present in *any*
+     * way is refreshed in place (partitioning restricts eviction,
+     * not lookup). With allWays the choice is identical to fill().
+     *
+     * @return the global line slot (set * assoc + way) the line
+     *         occupies, so callers can track per-claimant ownership.
+     */
+    int fillWays(Addr addr, std::uint32_t wayMask);
+
+    /** Way mask allowing every way. */
+    static constexpr std::uint32_t allWays = ~0u;
 
     /** LRU-update-free lookup for tests and probes. */
     bool probe(Addr addr) const;

@@ -2,8 +2,8 @@
  * @file
  * Chip-level shared last-level cache (LLC) for the CMP layer: one
  * tag array shared by every core, reached over a shared bus with a
- * fixed per-transaction occupancy, with a per-core MSHR quota that
- * arbitrates how many outstanding LLC misses each core may hold.
+ * fixed per-transaction occupancy, with per-core outstanding-miss
+ * (MSHR) arbitration.
  *
  * The LLC sits *below* each core's private hierarchy: a core's
  * MemorySystem forwards its private-L2 misses here instead of
@@ -11,17 +11,40 @@
  * Single-core configurations never instantiate this level, which is
  * what keeps `--cores 1` byte-identical to the single-core machine.
  *
- * Determinism: cores tick in a fixed order inside one chip cycle,
- * so the bus/MSHR arbitration below sees a deterministic request
- * order and the whole chip simulation is bit-reproducible.
+ * Arbitration is delegated to the hierarchical allocation API
+ * (alloc/): the SharedCache owns the chip-level ResourceDomain —
+ * cores are the claimants; LLC MSHRs, bus slots per window and LLC
+ * ways are the kinds — and consults a ResourceArbiter for each
+ * core's current share:
+ *
+ *  - llc-mshr  a core at its MSHR share starts no new transaction
+ *              until enough of its own misses retire (the original
+ *              static quota under the "static" arbiter, a dynamic
+ *              sharing-model entitlement under "chip-dcra");
+ *  - llc-bus   transactions per busWindow-cycle accounting window; a
+ *              core over its share waits for the next window
+ *              (unlimited under "static");
+ *  - llc-way   ways a core's fills may claim/evict, enforced on
+ *              victim selection (unlimited under "static"; per-core
+ *              masks under "way-equal"/"way-util").
+ *
+ * Shares recompute at arbitration-epoch boundaries (params.arbEpoch
+ * cycles), advanced lazily on the access stream — which is
+ * deterministic (cores tick in a fixed order inside one chip
+ * cycle), so the whole chip simulation stays bit-reproducible.
  */
 
 #ifndef DCRA_SMT_MEM_SHARED_CACHE_HH
 #define DCRA_SMT_MEM_SHARED_CACHE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "alloc/arbiter.hh"
+#include "alloc/chip_arbiters.hh"
+#include "alloc/resource_domain.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
 
@@ -34,8 +57,20 @@ struct SharedCacheParams
     Cycle latency = 30;     //!< LLC tag+data access beyond the L2
     Cycle busLatency = 4;   //!< bus occupancy per transaction
     Cycle memLatency = 300; //!< main memory beyond the LLC
-    int mshrsPerCore = 16;  //!< outstanding LLC misses per core
+    int mshrsPerCore = 16;  //!< static per-core outstanding-miss quota
+    int mshrsTotal = 64;    //!< shared pool dynamic arbiters deal from
+    Cycle busWindow = 64;   //!< bus-slot accounting window (cycles)
+    Cycle arbEpoch = 4000;  //!< share-recompute interval (0 = never)
 };
+
+/**
+ * Validate the LLC parameters against a core count. Returns an
+ * empty string when acceptable, otherwise a description of the
+ * problem (the constructor turns it into a fatal()). Split out so
+ * tests can exercise the rejection logic without dying.
+ */
+std::string validateSharedCacheParams(const SharedCacheParams &p,
+                                      int numCores);
 
 /** Outcome of one LLC access. */
 struct LlcResult
@@ -47,13 +82,19 @@ struct LlcResult
 class SharedCache
 {
   public:
+    /** Static-quota arbitration (the historical behaviour). */
     SharedCache(const SharedCacheParams &params, int numCores);
+
+    /** Arbitration by an injected arbiter (see makeLlcArbiter). */
+    SharedCache(const SharedCacheParams &params, int numCores,
+                std::unique_ptr<ResourceArbiter> arbiter);
 
     /**
      * One private-L2 miss from @p core arriving at @p now. Applies
-     * MSHR-quota backpressure (a core at its quota waits for its
-     * earliest outstanding miss to retire), then bus arbitration
-     * (fixed occupancy per transaction), then the tag lookup.
+     * MSHR-share backpressure (a core at its share waits for its
+     * earliest outstanding misses to retire), bus-slot arbitration
+     * (fixed occupancy per transaction, optional per-window share),
+     * then the tag lookup; fills obey the core's way mask.
      */
     LlcResult access(int core, Addr addr, Cycle now);
 
@@ -63,7 +104,8 @@ class SharedCache
     /** Zero statistics; tags and arbitration state are untouched. */
     void resetStats();
 
-    /** Verify arbitration bookkeeping; panics on violation. */
+    /** Verify arbitration bookkeeping (domain conservation
+     *  included); panics on violation. */
     void auditInvariants() const;
 
     /** @name Per-core statistics */
@@ -74,6 +116,28 @@ class SharedCache
     std::uint64_t totalMisses() const;
     /** Cycles requests spent waiting for the bus or an MSHR slot. */
     std::uint64_t arbWaitCycles() const { return sArbWait; }
+    /** LLC lines currently owned (filled) by a core. */
+    std::uint64_t linesOwned(int core) const { return sOwned[core]; }
+    /** @} */
+
+    /** @name Arbitration introspection */
+    /** @{ */
+    const ResourceArbiter &arbiter() const { return *arb; }
+    const ResourceDomain &domain() const { return dom; }
+    /** Epochs at which the arbiter changed at least one share. */
+    std::uint64_t shareReassignments() const
+    {
+        return arb->reassignments();
+    }
+    /** Current MSHR share of a core; -1 when unlimited. */
+    int
+    mshrShareOf(int core) const
+    {
+        const int s = arb->shareOf(core, ChipMshr);
+        return s == shareUnlimited ? -1 : s;
+    }
+    /** Ways assigned to a core; 0 when the LLC is unpartitioned. */
+    int wayCountOf(int core) const { return wayCnt[core]; }
     /** @} */
 
     /** Underlying tag array, for tests. */
@@ -83,17 +147,63 @@ class SharedCache
     const SharedCacheParams &params() const { return p; }
 
   private:
+    /** The chip-level domain's resource kinds. */
+    static std::vector<ResourceKind> llcKinds(
+        const SharedCacheParams &p, int numCores);
+
+    /** Advance arbitration epochs that elapsed by @p now. */
+    void advanceEpochs(Cycle now);
+
+    /** Re-derive per-core way masks/counts from the arbiter. */
+    void syncWayMasks(Cycle now);
+
+    /** Release @p n of a core's MSHR domain entries. */
+    void releaseMshrs(int core, std::size_t n);
+
+    /** Start a new bus accounting window for @p core. */
+    void rollBusWindow(int core, std::uint64_t window);
+
+    /** Transfer ownership of a filled line slot to @p core. */
+    void ownLine(int core, int slot);
+
     SharedCacheParams p;
     int nCores;
+    int busSlotsPerWindow;
 
     Cache llc;
     Cycle busFreeAt = 0;
 
+    ResourceDomain dom;
+    std::unique_ptr<ResourceArbiter> arb;
+    unsigned arbEvents = 0; //!< cached arbEventMask()
+
     /** Retire times of each core's outstanding LLC misses. */
     std::vector<std::vector<Cycle>> outstanding;
 
+    /** @name Arbitration epoch state */
+    /** @{ */
+    std::uint64_t epochIdx = 0;
+    Cycle nextEpochAt = 0;
+    /** @} */
+
+    /** @name Bus-slot windows */
+    /** @{ */
+    std::vector<std::uint64_t> busWin; //!< current window per core
+    std::vector<int> busUsed;          //!< transactions this window
+    /** @} */
+
+    /** @name Way partitioning */
+    /** @{ */
+    std::vector<std::uint32_t> wayMask; //!< fill mask per core
+    std::vector<int> wayCnt;            //!< ways per core (0 = none)
+    /** @} */
+
+    /** Owner core of each LLC line slot (-1 = prewarm/unowned). */
+    std::vector<int> lineOwner;
+
     std::vector<std::uint64_t> sAcc;
     std::vector<std::uint64_t> sMiss;
+    std::vector<std::uint64_t> sOwned;
     std::uint64_t sArbWait = 0;
 };
 

@@ -53,6 +53,22 @@ class DcraPolicy : public Policy
     void beginCycle(Cycle now) override;
     bool fetchAllowed(ThreadID t, Cycle now) override;
 
+    /**
+     * The arbiter-API view of the dynamic entitlements: a slow
+     * thread active for a resource is entitled to the sharing
+     * model's E_slow; everyone else is unconstrained (the machine
+     * total), the paper's asymmetry. Valid after the first
+     * beginCycle().
+     */
+    int
+    shareOf(int c, int kind) const override
+    {
+        if (slow[c] && active[kind][c])
+            return limit[kind];
+        return ctx.cfg->resourceTotal(
+            static_cast<ResourceType>(kind));
+    }
+
     /** @name Introspection (tests, the phase-explorer example) */
     /** @{ */
 

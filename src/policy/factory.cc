@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "alloc/registry.hh"
 #include "common/logging.hh"
 #include "policy/dcra.hh"
 #include "policy/dcra_deg.hh"
@@ -17,67 +18,98 @@
 
 namespace smt {
 
+namespace {
+
+/** One registry row: the kind tag and the constructor. */
+struct PolicyEntry
+{
+    PolicyKind kind;
+    std::unique_ptr<Policy> (*make)(const PolicyParams &);
+};
+
+/** Stateless-policy constructor (ignores the parameters). */
+template <typename P>
+std::unique_ptr<Policy>
+makePlain(const PolicyParams &)
+{
+    return std::make_unique<P>();
+}
+
+/** Parameterised-policy constructor. */
+template <typename P>
+std::unique_ptr<Policy>
+makeWithParams(const PolicyParams &pp)
+{
+    return std::make_unique<P>(pp);
+}
+
+/**
+ * The single source of truth: name, kind and constructor per row.
+ * Names keep the paper's spelling; registration order is the order
+ * --list-policies prints.
+ */
+const NamedRegistry<PolicyEntry> &
+policyRegistry()
+{
+    static const NamedRegistry<PolicyEntry> reg = [] {
+        NamedRegistry<PolicyEntry> r;
+        r.add("ROUND-ROBIN", {PolicyKind::RoundRobin,
+                              makePlain<RoundRobinPolicy>});
+        r.add("ICOUNT", {PolicyKind::Icount, makePlain<IcountPolicy>});
+        r.add("STALL",
+              {PolicyKind::Stall, makeWithParams<StallPolicy>});
+        r.add("FLUSH",
+              {PolicyKind::Flush, makeWithParams<FlushPolicy>});
+        r.add("FLUSH++",
+              {PolicyKind::FlushPp, makeWithParams<FlushPpPolicy>});
+        r.add("DG", {PolicyKind::DataGating,
+                     makeWithParams<DataGatingPolicy>});
+        r.add("PDG", {PolicyKind::Pdg, makeWithParams<PdgPolicy>});
+        r.add("SRA", {PolicyKind::Sra, makePlain<SraPolicy>});
+        r.add("DCRA", {PolicyKind::Dcra, makeWithParams<DcraPolicy>});
+        r.add("DCRA-DEG",
+              {PolicyKind::DcraDeg, makeWithParams<DcraDegPolicy>});
+        return r;
+    }();
+    return reg;
+}
+
+} // anonymous namespace
+
 const char *
 policyKindName(PolicyKind k)
 {
-    switch (k) {
-      case PolicyKind::RoundRobin: return "ROUND-ROBIN";
-      case PolicyKind::Icount: return "ICOUNT";
-      case PolicyKind::Stall: return "STALL";
-      case PolicyKind::Flush: return "FLUSH";
-      case PolicyKind::FlushPp: return "FLUSH++";
-      case PolicyKind::DataGating: return "DG";
-      case PolicyKind::Pdg: return "PDG";
-      case PolicyKind::Sra: return "SRA";
-      case PolicyKind::Dcra: return "DCRA";
-      case PolicyKind::DcraDeg: return "DCRA-DEG";
-      default: return "invalid";
+    for (const auto &row : policyRegistry().entries()) {
+        if (row.second.kind == k)
+            return row.first;
     }
+    return "invalid";
 }
 
 PolicyKind
 parsePolicyKind(const std::string &name)
 {
-    static const PolicyKind all[] = {
-        PolicyKind::RoundRobin, PolicyKind::Icount, PolicyKind::Stall,
-        PolicyKind::Flush, PolicyKind::FlushPp,
-        PolicyKind::DataGating, PolicyKind::Pdg, PolicyKind::Sra,
-        PolicyKind::Dcra, PolicyKind::DcraDeg,
-    };
-    for (PolicyKind k : all) {
-        if (name == policyKindName(k))
-            return k;
-    }
-    fatal("unknown policy '%s'", name.c_str());
+    const PolicyEntry *e = policyRegistry().find(name);
+    if (!e)
+        fatal("unknown policy '%s' (run 'smtsim --list-policies')",
+              name.c_str());
+    return e->kind;
 }
 
 std::unique_ptr<Policy>
 makePolicy(PolicyKind kind, const PolicyParams &params)
 {
-    switch (kind) {
-      case PolicyKind::RoundRobin:
-        return std::make_unique<RoundRobinPolicy>();
-      case PolicyKind::Icount:
-        return std::make_unique<IcountPolicy>();
-      case PolicyKind::Stall:
-        return std::make_unique<StallPolicy>(params);
-      case PolicyKind::Flush:
-        return std::make_unique<FlushPolicy>(params);
-      case PolicyKind::FlushPp:
-        return std::make_unique<FlushPpPolicy>(params);
-      case PolicyKind::DataGating:
-        return std::make_unique<DataGatingPolicy>(params);
-      case PolicyKind::Pdg:
-        return std::make_unique<PdgPolicy>(params);
-      case PolicyKind::Sra:
-        return std::make_unique<SraPolicy>();
-      case PolicyKind::Dcra:
-        return std::make_unique<DcraPolicy>(params);
-      case PolicyKind::DcraDeg:
-        return std::make_unique<DcraDegPolicy>(params);
-      default:
-        panic("bad policy kind %d", static_cast<int>(kind));
+    for (const auto &row : policyRegistry().entries()) {
+        if (row.second.kind == kind)
+            return row.second.make(params);
     }
+    panic("bad policy kind %d", static_cast<int>(kind));
+}
+
+std::vector<const char *>
+policyNames()
+{
+    return policyRegistry().names();
 }
 
 } // namespace smt

@@ -1,7 +1,10 @@
 /**
  * @file
  * Construction of policies by kind, the enumeration experiments
- * sweep over.
+ * sweep over. Name, kind and constructor live in one name-keyed
+ * registry row (alloc/registry.hh) — the same infrastructure the
+ * LLC-arbiter factory uses — so the printable names, the parser and
+ * the factory can never drift apart.
  */
 
 #ifndef DCRA_SMT_POLICY_FACTORY_HH
@@ -9,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "policy/policy_params.hh"
 #include "policy/policy.hh"
@@ -38,6 +42,9 @@ PolicyKind parsePolicyKind(const std::string &name);
 /** Instantiate a policy. */
 std::unique_ptr<Policy> makePolicy(PolicyKind kind,
                                    const PolicyParams &params);
+
+/** Registered policy names in registration order (--list-policies). */
+std::vector<const char *> policyNames();
 
 } // namespace smt
 

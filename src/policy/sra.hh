@@ -29,6 +29,14 @@ class SraPolicy : public Policy
         return ctx.tracker->occupancy(r, t) < share[r];
     }
 
+    /** The arbiter-API view of the hard 1/T entitlement. */
+    int
+    shareOf(int c, int kind) const override
+    {
+        (void)c;
+        return share[kind];
+    }
+
   protected:
     void
     onBind() override

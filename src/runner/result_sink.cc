@@ -104,6 +104,9 @@ appendConfigJson(std::string &out, const SweepJob &job)
         out += allocatorKindName(c.soc.allocator);
         out += "\"";
         out += ", \"epochCycles\": " + fmtU64(c.soc.epochCycles);
+        out += ", \"llcArbiter\": \"" +
+            jsonEscape(c.soc.llcArbiter) + "\"";
+        out += ", \"llcWays\": " + std::to_string(c.soc.llcWays);
     }
     out += "}";
 }
@@ -247,6 +250,27 @@ JsonSink::render(const SweepResults &res) const
                 if (c)
                     out += ", ";
                 out += "\"" + hexU64(raw.coreCommitHashes[c]) + "\"";
+            }
+            out += "]";
+            // The arbitration outcome: which LLC arbiter ran, how
+            // often it reassigned shares, and each core's share/
+            // way/occupancy view of the shared cache.
+            out += ",\n      \"llcArbiter\": \"" +
+                jsonEscape(raw.llcArbiter) + "\"";
+            out += ", \"llcShareReassignments\": " +
+                fmtU64(raw.llcShareReassignments);
+            out += ", \"llcPerCore\": [";
+            for (std::size_t c = 0; c < raw.llcPerCore.size(); ++c) {
+                const LlcCoreStats &cs = raw.llcPerCore[c];
+                if (c)
+                    out += ", ";
+                out += "{\"accesses\": " + fmtU64(cs.accesses);
+                out += ", \"misses\": " + fmtU64(cs.misses);
+                out += ", \"mshrShare\": " +
+                    std::to_string(cs.mshrShare);
+                out += ", \"ways\": " + std::to_string(cs.ways);
+                out += ", \"linesOwned\": " + fmtU64(cs.linesOwned);
+                out += "}";
             }
             out += "]}";
         }

@@ -37,6 +37,10 @@ ConfigOverride::apply(SimConfig cfg) const
         cfg.soc.allocator = *allocator;
     if (epochCycles)
         cfg.soc.epochCycles = *epochCycles;
+    if (llcArbiter)
+        cfg.soc.llcArbiter = *llcArbiter;
+    if (llcWays)
+        cfg.soc.llcWays = *llcWays;
     for (const ResourceCapFrac &cap : caps) {
         if (cap.frac < 1.0) {
             const int total = cfg.core.resourceTotal(cap.res);

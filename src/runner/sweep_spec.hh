@@ -56,12 +56,16 @@ struct ConfigOverride
 
     /** @name Chip-level (CMP) axes
      * numCores > 1 makes the runner execute the job on a
-     * ChipSimulator; the other three shape the chip. */
+     * ChipSimulator; the others shape the chip. */
     /** @{ */
     std::optional<int> numCores;
     std::optional<int> contextsPerCore;
     std::optional<AllocatorKind> allocator;
     std::optional<Cycle> epochCycles;
+    /** LLC arbiter name (alloc/chip_arbiters.hh registry). */
+    std::optional<std::string> llcArbiter;
+    /** LLC associativity override for way partitioning. */
+    std::optional<int> llcWays;
     /** @} */
 
     /** Caps are applied after the scalar fields, so a fraction is

@@ -65,6 +65,19 @@ struct ThreadResult
     }
 };
 
+/** Per-core shared-LLC outcome of a multi-core run. */
+struct LlcCoreStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** MSHR share at end of run; -1 = unlimited (ungated core). */
+    int mshrShare = -1;
+    /** Ways assigned to the core; 0 = LLC not way-partitioned. */
+    int ways = 0;
+    /** LLC lines the core currently owns (occupancy). */
+    std::uint64_t linesOwned = 0;
+};
+
 /** Whole-run outcome. */
 struct SimResult
 {
@@ -89,6 +102,10 @@ struct SimResult
     std::uint64_t migrations = 0;     //!< threads moved between cores
     std::uint64_t llcAccesses = 0;    //!< shared-LLC accesses
     std::uint64_t llcMisses = 0;      //!< shared-LLC misses
+    std::string llcArbiter;           //!< arbiter name; "" = 1 core
+    /** Epochs at which the LLC arbiter changed at least one share. */
+    std::uint64_t llcShareReassignments = 0;
+    std::vector<LlcCoreStats> llcPerCore; //!< per-core LLC outcome
     /** @} */
 
     /** IPC throughput (sum over threads). */

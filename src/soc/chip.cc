@@ -107,7 +107,17 @@ ChipSimulator::buildChip(PolicyKind policyKind)
         // The LLC's backing-memory latency always follows the
         // hierarchy configuration (Figure 7 style sweeps move it).
         lp.memLatency = cfg.mem.memLatency;
-        llc = std::make_unique<SharedCache>(lp, nCores);
+        if (cfg.soc.llcWays > 0)
+            lp.tags.assoc = cfg.soc.llcWays;
+        LlcArbiterConfig ac;
+        ac.numCores = nCores;
+        ac.mshrsPerCore = lp.mshrsPerCore;
+        ac.mshrsTotal = lp.mshrsTotal;
+        ac.ways = lp.tags.assoc;
+        ac.busSlotsPerWindow = static_cast<int>(
+            lp.busWindow / std::max<Cycle>(1, lp.busLatency));
+        llc = std::make_unique<SharedCache>(
+            lp, nCores, makeLlcArbiter(cfg.soc.llcArbiter, ac));
     }
 
     // Initial placement: the allocator's cold-start decision (all
@@ -522,6 +532,17 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
         res.migrations = nMigrations;
         res.llcAccesses = llc->totalAccesses();
         res.llcMisses = llc->totalMisses();
+        res.llcArbiter = llc->arbiter().name();
+        res.llcShareReassignments = llc->shareReassignments();
+        for (int c = 0; c < nCores; ++c) {
+            LlcCoreStats cs;
+            cs.accesses = llc->accesses(c);
+            cs.misses = llc->misses(c);
+            cs.mshrShare = llc->mshrShareOf(c);
+            cs.ways = llc->wayCountOf(c);
+            cs.linesOwned = llc->linesOwned(c);
+            res.llcPerCore.push_back(cs);
+        }
     }
     return res;
 }

@@ -63,6 +63,21 @@ struct SocParams
 
     /** Shared LLC + bus; memLatency is taken from MemParams. */
     SharedCacheParams llc;
+
+    /**
+     * LLC arbiter name (alloc/chip_arbiters.hh registry): "static"
+     * (the historical fixed per-core MSHR quota), "chip-dcra"
+     * (dynamic per-core MSHR/bus shares), "way-equal"/"way-util"
+     * (way partitioning). The default changes nothing anywhere.
+     */
+    std::string llcArbiter = "static";
+
+    /**
+     * LLC associativity override for way-partitioning experiments;
+     * 0 keeps the SharedCacheParams default. Must keep the set
+     * count a power of two (so itself a power of two up to 32).
+     */
+    int llcWays = 0;
 };
 
 } // namespace smt

@@ -165,6 +165,37 @@ TEST(SharedCache, BusSerializesSameCycleRequests)
     EXPECT_EQ(llc.arbWaitCycles(), 4u);
 }
 
+TEST(SharedCache, RejectsZeroMshrQuota)
+{
+    // A per-core quota of 0 could never admit a miss: the first
+    // private-L2 miss would wait forever. Construction must refuse
+    // it with a clear fatal(); the message logic is validated here
+    // without dying.
+    SharedCacheParams p;
+    p.mshrsPerCore = 0;
+    const std::string err = validateSharedCacheParams(p, 2);
+    EXPECT_NE(err.find("at least 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("deadlock"), std::string::npos) << err;
+}
+
+TEST(SharedCache, RejectsQuotaExceedingThePool)
+{
+    // A quota above the shared pool would let one core over-admit
+    // misses the pool cannot hold.
+    SharedCacheParams p;
+    p.mshrsTotal = 64;
+    p.mshrsPerCore = 65;
+    const std::string err = validateSharedCacheParams(p, 2);
+    EXPECT_NE(err.find("exceeds the shared pool"), std::string::npos)
+        << err;
+
+    // The boundary itself is fine, as is the default configuration.
+    p.mshrsPerCore = 64;
+    EXPECT_TRUE(validateSharedCacheParams(p, 2).empty());
+    EXPECT_TRUE(validateSharedCacheParams(SharedCacheParams{}, 4)
+                    .empty());
+}
+
 TEST(SharedCache, PerCoreMshrQuotaBackpressures)
 {
     SharedCacheParams p;

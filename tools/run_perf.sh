@@ -3,10 +3,14 @@
 # in the usual build directories (or $SMT_BUILD_DIR), defaults the
 # output file to BENCH_perf.json in the current directory, and
 # forwards every argument. The cells cover the 1/2/4-thread
-# single-core mixes plus a 2-core x 2-thread CMP cell (2C4T); the
-# "mcycles_per_sec_4t" aggregate tracks the single-core hot path
-# only, so it stays comparable across PRs, while
-# "mcycles_per_sec_2c4t" tracks the chip layer's own cost. Examples:
+# single-core mixes plus two 2-core x 2-thread CMP cells: 2C4T
+# (static LLC arbiter) and 2C4T-DCRA (chip-dcra LLC arbitration).
+# The "mcycles_per_sec_4t" aggregate tracks the single-core hot
+# path only, so it stays comparable across PRs;
+# "mcycles_per_sec_2c4t" tracks the chip layer's own cost (static
+# arbiter only, comparable since PR 4) and
+# "mcycles_per_sec_2c4t_chipdcra" the arbitration hot path.
+# Examples:
 #
 #   tools/run_perf.sh --quick
 #   tools/run_perf.sh --label after --baseline BENCH_before.json

@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "alloc/chip_arbiters.hh"
+#include "common/bits.hh"
 #include "common/logging.hh"
 #include "runner/result_sink.hh"
 #include "runner/runner.hh"
@@ -73,10 +75,16 @@ usage()
         "                       round-robin symbiosis synpa\n"
         "  --epoch N            cycles between reallocations\n"
         "                       (0 disables; default 20000)\n"
+        "  --llc-arbiter NAME   chip-level LLC arbiter (multi-core):\n"
+        "                       static chip-dcra way-equal way-util\n"
+        "  --llc-ways N         LLC associativity (pow2, <= 32) for\n"
+        "                       way-partitioning experiments\n"
         "  --json               emit the sweep JSON schema instead\n"
         "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
         "  --list-workloads     show the paper's Table 4 workloads\n"
+        "  --list-policies      show registered fetch/alloc policies\n"
+        "  --list-arbiters      show registered LLC arbiters\n"
         "  --selftest           10k-cycle 2-thread DCRA smoke run\n"
         "                       plus a 2-core chip smoke; exits\n"
         "                       nonzero on NaN/zero IPC or\n"
@@ -97,6 +105,8 @@ usage()
         "  --cores a,b          chip-size axis (cores > 1 run on\n"
         "                       the CMP layer)\n"
         "  --allocator a,b      thread-to-core allocator axis\n"
+        "  --llc-arbiter a,b    LLC-arbiter axis (multi-core)\n"
+        "  --llc-ways a,b       LLC-associativity axis (multi-core)\n"
         "  --contexts N         contexts per core (multi-core)\n"
         "  --epoch N            reallocation epoch in cycles\n"
         "  --commits N          per-run commit budget (default\n"
@@ -281,6 +291,22 @@ validateBenches(const std::vector<std::string> &benches,
     return true;
 }
 
+/** Validate an --llc-ways value; reports to stderr on rejection. */
+bool
+validateLlcWays(int n)
+{
+    if (n < 1 || n > 32 ||
+        !isPow2(static_cast<std::uint64_t>(n))) {
+        std::fprintf(stderr,
+                     "error: --llc-ways wants a power of two in "
+                     "1..32 (got %d); the LLC's set count must stay "
+                     "a power of two\n",
+                     n);
+        return false;
+    }
+    return true;
+}
+
 /** Parse a comma list of non-negative integers; false on junk. */
 bool
 parseU64List(const std::string &s, std::vector<std::uint64_t> &out)
@@ -329,8 +355,9 @@ sweepMain(int argc, char **argv)
     spec.warmup = 10'000;
 
     std::vector<std::uint64_t> memLats, l2Lats, regSizes, iqSizes;
-    std::vector<std::uint64_t> coreCounts;
+    std::vector<std::uint64_t> coreCounts, llcWaysAxis;
     std::vector<AllocatorKind> allocKinds;
+    std::vector<std::string> llcArbs;
     std::string format = "table";
     std::string outPath;
     int jobs = 0;
@@ -420,6 +447,26 @@ sweepMain(int argc, char **argv)
         } else if (arg == "--allocator") {
             for (const std::string &a : splitCommas(next()))
                 allocKinds.push_back(parseAllocatorKind(a));
+        } else if (arg == "--llc-arbiter") {
+            for (const std::string &a : splitCommas(next())) {
+                if (!isLlcArbiterName(a)) {
+                    std::fprintf(stderr,
+                                 "error: unknown LLC arbiter '%s' "
+                                 "(run 'smtsim --list-arbiters')\n",
+                                 a.c_str());
+                    return 1;
+                }
+                llcArbs.push_back(a);
+            }
+        } else if (arg == "--llc-ways") {
+            std::vector<std::uint64_t> ways;
+            if (!parseU64List(next(), ways))
+                fatal("bad --llc-ways list");
+            for (const std::uint64_t w : ways) {
+                if (!validateLlcWays(static_cast<int>(w)))
+                    return 1;
+                llcWaysAxis.push_back(w);
+            }
         } else if (arg == "--contexts") {
             const int n =
                 static_cast<int>(std::strtol(next(), nullptr, 10));
@@ -518,8 +565,13 @@ sweepMain(int argc, char **argv)
     const std::vector<AllocatorKind> allocAxis = allocKinds.empty()
         ? std::vector<AllocatorKind>{AllocatorKind::RoundRobin}
         : allocKinds;
+    const std::vector<std::string> arbAxis = llcArbs.empty()
+        ? std::vector<std::string>{"static"}
+        : llcArbs;
     for (const std::uint64_t nc : axis(coreCounts)) {
-      for (const AllocatorKind ak : allocAxis) {
+     for (const AllocatorKind ak : allocAxis) {
+      for (const std::string &la : arbAxis) {
+       for (const std::uint64_t lw : axis(llcWaysAxis)) {
         for (const std::uint64_t ml : axis(memLats)) {
           for (const std::uint64_t l2 : axis(l2Lats)) {
             for (const std::uint64_t rg : axis(regSizes)) {
@@ -533,16 +585,29 @@ sweepMain(int argc, char **argv)
                         o.label += '=';
                         o.label += std::to_string(v);
                     };
+                    auto addName = [&](const char *k,
+                                       const std::string &v) {
+                        if (!o.label.empty())
+                            o.label += ',';
+                        o.label += k;
+                        o.label += '=';
+                        o.label += v;
+                    };
                     if (!coreCounts.empty()) {
                         o.numCores = static_cast<int>(nc);
                         addPart("cores", nc);
                     }
                     if (!allocKinds.empty()) {
                         o.allocator = ak;
-                        if (!o.label.empty())
-                            o.label += ',';
-                        o.label += "alloc=";
-                        o.label += allocatorKindName(ak);
+                        addName("alloc", allocatorKindName(ak));
+                    }
+                    if (!llcArbs.empty()) {
+                        o.llcArbiter = la;
+                        addName("llcarb", la);
+                    }
+                    if (!llcWaysAxis.empty()) {
+                        o.llcWays = static_cast<int>(lw);
+                        addPart("llcways", lw);
                     }
                     if (!memLats.empty()) {
                         o.memLatency = ml;
@@ -566,7 +631,9 @@ sweepMain(int argc, char **argv)
             }
           }
         }
+       }
       }
+     }
     }
 
     SweepRunner runner(std::move(spec), jobs);
@@ -642,6 +709,20 @@ main(int argc, char **argv)
         } else if (arg == "--epoch") {
             cfg.soc.epochCycles =
                 std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--llc-arbiter") {
+            cfg.soc.llcArbiter = next();
+            if (!isLlcArbiterName(cfg.soc.llcArbiter)) {
+                std::fprintf(stderr,
+                             "error: unknown LLC arbiter '%s' (run "
+                             "'smtsim --list-arbiters')\n",
+                             cfg.soc.llcArbiter.c_str());
+                return 1;
+            }
+        } else if (arg == "--llc-ways") {
+            cfg.soc.llcWays =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (!validateLlcWays(cfg.soc.llcWays))
+                return 1;
         } else if (arg == "--json") {
             jsonOut = true;
         } else if (arg == "--list-benchmarks") {
@@ -660,6 +741,14 @@ main(int argc, char **argv)
                     std::printf(" %s", b.c_str());
                 std::printf("\n");
             }
+            return 0;
+        } else if (arg == "--list-policies") {
+            for (const char *n : policyNames())
+                std::printf("%s\n", n);
+            return 0;
+        } else if (arg == "--list-arbiters") {
+            for (const char *n : llcArbiterNames())
+                std::printf("%s\n", n);
             return 0;
         } else if (arg == "--selftest") {
             return selftest();
@@ -719,14 +808,28 @@ main(int argc, char **argv)
             : 0.0;
         std::printf("chip: cores=%d contexts=%d allocator=%s "
                     "epoch=%llu migrations=%llu llc-acc=%llu "
-                    "llc-miss=%.2f%%\n",
+                    "llc-miss=%.2f%% llc-arbiter=%s "
+                    "share-reassignments=%llu\n",
                     cfg.soc.numCores, cfg.soc.contextsPerCore,
                     allocatorKindName(cfg.soc.allocator),
                     static_cast<unsigned long long>(
                         cfg.soc.epochCycles),
                     static_cast<unsigned long long>(r.migrations),
                     static_cast<unsigned long long>(r.llcAccesses),
-                    llcMissPct);
+                    llcMissPct, r.llcArbiter.c_str(),
+                    static_cast<unsigned long long>(
+                        r.llcShareReassignments));
+        for (std::size_t c = 0; c < r.llcPerCore.size(); ++c) {
+            const LlcCoreStats &cs = r.llcPerCore[c];
+            std::printf("  llc core %zu: acc=%llu miss=%llu "
+                        "mshr-share=%d ways=%d lines=%llu\n",
+                        c,
+                        static_cast<unsigned long long>(cs.accesses),
+                        static_cast<unsigned long long>(cs.misses),
+                        cs.mshrShare, cs.ways,
+                        static_cast<unsigned long long>(
+                            cs.linesOwned));
+        }
     }
     std::printf("%-8s %10s %7s %9s %9s %8s %8s %8s %8s\n", "thread",
                 "commits", "IPC", "fetched", "squashed", "misp%",
