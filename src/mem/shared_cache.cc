@@ -140,9 +140,19 @@ SharedCache::syncWayMasks(Cycle now)
     }
 
     if (!partitioned) {
-        // Unpartitioned LLC: full masks, no way accounting. The
-        // masks are already full and counts zero from construction;
-        // nothing to sync.
+        // Unpartitioned LLC: full masks, no way accounting. A
+        // dynamic arbiter may stop partitioning at any epoch, so the
+        // previous deal (if any) must be undone here — restore full
+        // fill masks and hand every dealt way back to the domain,
+        // or cores stay restricted to their stale masks forever.
+        for (int c = 0; c < nCores; ++c) {
+            const std::size_t i = static_cast<std::size_t>(c);
+            wayMask[i] = Cache::allWays;
+            while (wayCnt[i] > 0) {
+                dom.release(c, ChipWay);
+                --wayCnt[i];
+            }
+        }
         return;
     }
 
@@ -230,6 +240,11 @@ LlcResult
 SharedCache::access(int core, Addr addr, Cycle now)
 {
     SMT_ASSERT(core >= 0 && core < nCores, "bad core %d", core);
+    // Parallel tick: wait until every lower-id core finished the
+    // current chip cycle, so the shared state below is mutated in
+    // the exact serial order. No-op (one branch) in serial runs.
+    if (gate)
+        gate->enter(core);
     advanceEpochs(now);
     ++sAcc[core];
 
@@ -248,9 +263,12 @@ SharedCache::access(int core, Addr addr, Cycle now)
     // retirements free the first slot.
     Cycle start = now;
     const int mshrShareRaw = arb->shareOf(core, ChipMshr);
+    SMT_ASSERT(mshrShareRaw == shareUnlimited || mshrShareRaw >= 1,
+               "arbiter '%s' assigned core %d a non-positive LLC "
+               "MSHR share (%d)", arb->name(), core, mshrShareRaw);
     const int mshrShare = mshrShareRaw == shareUnlimited
         ? std::numeric_limits<int>::max()
-        : std::max(1, mshrShareRaw);
+        : mshrShareRaw;
     if (static_cast<int>(out.size()) >= mshrShare) {
         std::vector<Cycle> sorted = out;
         std::sort(sorted.begin(), sorted.end());
@@ -279,8 +297,12 @@ SharedCache::access(int core, Addr addr, Cycle now)
         win = busWin[static_cast<std::size_t>(core)];
     const int busShareRaw = arb->shareOf(core, ChipBus);
     if (busShareRaw != shareUnlimited) {
-        const int busShare = std::max(
-            1, std::min(busShareRaw, busSlotsPerWindow));
+        SMT_ASSERT(busShareRaw >= 1,
+                   "arbiter '%s' assigned core %d a non-positive "
+                   "LLC bus share (%d)", arb->name(), core,
+                   busShareRaw);
+        const int busShare = std::min(busShareRaw,
+                                      busSlotsPerWindow);
         // A gated core cannot start a transaction before the window
         // it is accounted in (its earlier windows' slots are spent).
         start = std::max(start,
@@ -344,8 +366,12 @@ SharedCache::auditInvariants() const
                    dom.occupancy(c, ChipMshr));
         const int share = arb->shareOf(c, ChipMshr);
         if (share != shareUnlimited) {
+            SMT_ASSERT(share >= 1,
+                       "arbiter '%s' holds a non-positive LLC MSHR "
+                       "share (%d) for core %d", arb->name(), share,
+                       c);
             SMT_ASSERT(static_cast<int>(outstanding[c].size()) <=
-                       std::max(1, share),
+                       share,
                        "core %d exceeds its LLC MSHR share", c);
         }
         SMT_ASSERT(busUsed[c] == dom.occupancy(c, ChipBus),

@@ -79,6 +79,24 @@ struct LlcResult
     Cycle ready = 0;  //!< absolute cycle the data reaches the core
 };
 
+/**
+ * Ordering gate for parallel chip execution. When installed (see
+ * SharedCache::setAccessGate), every access() calls enter(core)
+ * first; the parallel tick's implementation (soc/tick_wavefront.hh)
+ * blocks there until all lower-id cores have finished the current
+ * chip cycle, which reproduces the serial core-id-order access
+ * sequence exactly. Serial execution installs none and pays one
+ * null-pointer test per access.
+ */
+class LlcAccessGate
+{
+  public:
+    virtual ~LlcAccessGate() = default;
+
+    /** Block until @p core may touch the shared state this cycle. */
+    virtual void enter(int core) = 0;
+};
+
 class SharedCache
 {
   public:
@@ -138,7 +156,16 @@ class SharedCache
     }
     /** Ways assigned to a core; 0 when the LLC is unpartitioned. */
     int wayCountOf(int core) const { return wayCnt[core]; }
+    /** Fill mask of a core (Cache::allWays when unpartitioned). */
+    std::uint32_t fillMaskOf(int core) const { return wayMask[core]; }
     /** @} */
+
+    /**
+     * Install (or, with nullptr, remove) the parallel-tick ordering
+     * gate. The gate outlives every access() made while installed;
+     * the chip layer installs it for the duration of a parallel run.
+     */
+    void setAccessGate(LlcAccessGate *g) { gate = g; }
 
     /** Underlying tag array, for tests. */
     Cache &tags() { return llc; }
@@ -176,6 +203,9 @@ class SharedCache
     ResourceDomain dom;
     std::unique_ptr<ResourceArbiter> arb;
     unsigned arbEvents = 0; //!< cached arbEventMask()
+
+    /** Parallel-tick ordering gate; null in serial execution. */
+    LlcAccessGate *gate = nullptr;
 
     /** Retire times of each core's outstanding LLC misses. */
     std::vector<std::vector<Cycle>> outstanding;

@@ -242,6 +242,7 @@ JsonSink::render(const SweepResults &res) const
             // (parallel-vs-serial diff, 2-core golden) compare.
             out += ",\n     \"soc\": {\"migrations\": " +
                 fmtU64(raw.migrations);
+            out += ", \"allocEpochs\": " + fmtU64(raw.allocEpochs);
             out += ", \"llcAccesses\": " + fmtU64(raw.llcAccesses);
             out += ", \"llcMisses\": " + fmtU64(raw.llcMisses);
             out += ", \"coreCommitHashes\": [";

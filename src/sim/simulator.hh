@@ -100,6 +100,7 @@ struct SimResult
     /** @{ */
     std::vector<std::uint64_t> coreCommitHashes;
     std::uint64_t migrations = 0;     //!< threads moved between cores
+    std::uint64_t allocEpochs = 0;    //!< allocator epochs run
     std::uint64_t llcAccesses = 0;    //!< shared-LLC accesses
     std::uint64_t llcMisses = 0;      //!< shared-LLC misses
     std::string llcArbiter;           //!< arbiter name; "" = 1 core

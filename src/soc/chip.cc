@@ -86,7 +86,10 @@ ChipSimulator::ChipSimulator(
     prewarmChip();
 }
 
-ChipSimulator::~ChipSimulator() = default;
+ChipSimulator::~ChipSimulator()
+{
+    stopTickWorkers();
+}
 
 void
 ChipSimulator::buildChip(PolicyKind policyKind)
@@ -249,8 +252,75 @@ void
 ChipSimulator::tickAllCores()
 {
     ++cycle;
-    for (Core &core : cores)
-        core.pipe->tick();
+    if (!wavefront) {
+        for (Core &core : cores)
+            core.pipe->tick();
+        return;
+    }
+    // Publish the cycle, tick worker 0's cores on this thread, then
+    // wait for the rest: once awaitAll returns, every core's tick
+    // (and its LLC accesses, in serial core-id order thanks to the
+    // gate) happened-before anything the main thread does next.
+    wavefront->beginCycle(cycle);
+    tickCores(0, cycle);
+    wavefront->awaitAll(cycle);
+}
+
+void
+ChipSimulator::tickCores(int w, Cycle t)
+{
+    // Ascending core order per worker is what makes the wavefront's
+    // waits-for relation acyclic — see soc/tick_wavefront.hh.
+    for (int c = w; c < nCores; c += nTickWorkers) {
+        cores[c].pipe->tick();
+        wavefront->coreDone(c, t);
+    }
+}
+
+void
+ChipSimulator::workerLoop(int w)
+{
+    Cycle last = 0;
+    for (;;) {
+        const Cycle t = wavefront->awaitCycle(last);
+        if (t == TickWavefront::stopCycle)
+            return;
+        tickCores(w, t);
+        last = t;
+    }
+}
+
+void
+ChipSimulator::startTickWorkers()
+{
+    int w = cfg.soc.chipJobs;
+    if (w <= 0)
+        w = static_cast<int>(std::thread::hardware_concurrency());
+    w = std::min(std::max(w, 1), nCores);
+    if (w <= 1 || nCores <= 1)
+        return;
+
+    nTickWorkers = w;
+    wavefront = std::make_unique<TickWavefront>(nCores);
+    llc->setAccessGate(wavefront.get());
+    workers.reserve(static_cast<std::size_t>(w - 1));
+    for (int i = 1; i < w; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ChipSimulator::stopTickWorkers()
+{
+    if (!wavefront)
+        return;
+    wavefront->requestStop();
+    for (std::thread &th : workers)
+        th.join();
+    workers.clear();
+    if (llc)
+        llc->setAccessGate(nullptr);
+    wavefront.reset();
+    nTickWorkers = 1;
 }
 
 void
@@ -273,10 +343,15 @@ ChipSimulator::resetAllStats()
 void
 ChipSimulator::runEpoch()
 {
-    ++epoch;
+    // A zero-length interval has no metrics to sample and never
+    // consults the allocator, so it must not consume an epoch
+    // number either: the counter counts allocator invocations, and
+    // it is what reaches the allocator, the debounce, and the soc
+    // JSON's "allocEpochs".
     const Cycle dt = cycle - intervalStart;
     if (dt == 0)
         return;
+    ++epoch;
 
     std::vector<ThreadPerfSample> metrics(
         static_cast<std::size_t>(nThreads));
@@ -415,6 +490,8 @@ SimResult
 ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
                    std::uint64_t warmupCommits)
 {
+    startTickWorkers();
+
     // The epoch/migration machinery runs in warmup and measurement
     // alike (it is machine behaviour, not a statistic); with one
     // core there is nowhere to move, so it is skipped entirely and
@@ -485,6 +562,8 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
         }
     }
 
+    stopTickWorkers();
+
     if (!done) {
         warn("run hit the cycle cap (%llu) before any thread "
              "committed %llu instructions",
@@ -530,6 +609,7 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
             res.coreCommitHashes.push_back(h);
         }
         res.migrations = nMigrations;
+        res.allocEpochs = epoch;
         res.llcAccesses = llc->totalAccesses();
         res.llcMisses = llc->totalMisses();
         res.llcArbiter = llc->arbiter().name();

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bpred/predictor.hh"
@@ -34,6 +35,7 @@
 #include "policy/factory.hh"
 #include "sim/simulator.hh"
 #include "soc/allocator.hh"
+#include "soc/tick_wavefront.hh"
 #include "trace/generator.hh"
 
 namespace smt {
@@ -91,6 +93,13 @@ class ChipSimulator
     const std::vector<int> &placement() const { return coreOf; }
     /** Completed drain-squash-migrate handoffs (threads moved). */
     std::uint64_t migrations() const { return nMigrations; }
+    /** Allocator epochs actually run (= allocator invocations after
+     *  the cold start; zero-length intervals consume none). */
+    std::uint64_t epochsRun() const { return epoch; }
+    /** Invoke the epoch machinery immediately (tests): exactly what
+     *  run() does at an epoch boundary, including the zero-length
+     *  interval guard. */
+    void runEpochNow() { runEpoch(); }
     /** Audit every auditEvery cycles during run() (0 = off). */
     void setAuditInterval(Cycle auditEvery) { auditPeriod = auditEvery; }
     /** @} */
@@ -137,6 +146,20 @@ class ChipSimulator
     void prewarmChip();
     void tickAllCores();
     void resetAllStats();
+
+    /** @name Parallel tick (cfg.soc.chipJobs > 1)
+     * Worker w ticks cores {w, w + W, ...} in ascending order; the
+     * main thread is worker 0 and runs everything between cycles
+     * (migrations, epochs, sampling) alone. Determinism comes from
+     * the TickWavefront gate in the SharedCache — see
+     * soc/tick_wavefront.hh for the ordering argument.
+     */
+    /** @{ */
+    void startTickWorkers();
+    void stopTickWorkers();
+    void workerLoop(int w);
+    void tickCores(int w, Cycle t);
+    /** @} */
 
     CtxTotals readCtx(int core, int ctx) const;
     CtxTotals totalsOf(int thread) const;
@@ -191,6 +214,13 @@ class ChipSimulator
 
     Cycle cycle = 0;
     Cycle auditPeriod = 0;
+
+    /** @name Parallel-tick state (empty/null in serial runs) */
+    /** @{ */
+    int nTickWorkers = 1;
+    std::unique_ptr<TickWavefront> wavefront;
+    std::vector<std::thread> workers;
+    /** @} */
 };
 
 } // namespace smt

@@ -78,6 +78,17 @@ struct SocParams
      * count a power of two (so itself a power of two up to 32).
      */
     int llcWays = 0;
+
+    /**
+     * Host worker threads ticking the chip's cores in parallel
+     * (--chip-jobs): 1 = serial core-id-order ticking (the
+     * historical loop, zero overhead), 0 = one per host hardware
+     * thread, N = min(N, numCores). A host-execution knob, not
+     * machine configuration: the result is byte-identical for every
+     * value (see soc/tick_wavefront.hh), so it is never serialized
+     * into result JSON.
+     */
+    int chipJobs = 1;
 };
 
 } // namespace smt

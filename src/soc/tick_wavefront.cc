@@ -1,0 +1,97 @@
+#include "soc/tick_wavefront.hh"
+
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace smt {
+
+TickWavefront::TickWavefront(int numCores)
+    : nCores(numCores), cs(static_cast<std::size_t>(numCores))
+{
+    SMT_ASSERT(numCores >= 1, "wavefront over %d cores", numCores);
+}
+
+void
+TickWavefront::backoff(unsigned &spins)
+{
+    // A simulated core tick is short, so the awaited flag usually
+    // flips within the spin budget when the peer runs on its own
+    // CPU; past that the peer is likely descheduled (or the host is
+    // oversubscribed) and yielding is the only way to let it run.
+    if (++spins < 64) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+void
+TickWavefront::beginCycle(Cycle t)
+{
+    // The release pairs with awaitCycle's acquire: everything the
+    // main thread did between cycles (migrations, stat resets,
+    // epoch bookkeeping) is visible to every worker before it
+    // touches its cores.
+    go.store(t, std::memory_order_release);
+}
+
+Cycle
+TickWavefront::awaitCycle(Cycle last) const
+{
+    unsigned spins = 0;
+    Cycle t;
+    while ((t = go.load(std::memory_order_acquire)) == last)
+        backoff(spins);
+    return t;
+}
+
+void
+TickWavefront::coreDone(int core, Cycle t)
+{
+    // The release pairs with the acquires in enter() and awaitAll():
+    // every effect of this core's tick — pipeline state and its LLC
+    // accesses — is visible to whoever observes the completion.
+    cs[static_cast<std::size_t>(core)].done.store(
+        t, std::memory_order_release);
+}
+
+void
+TickWavefront::awaitAll(Cycle t) const
+{
+    for (int c = 0; c < nCores; ++c) {
+        unsigned spins = 0;
+        while (cs[static_cast<std::size_t>(c)].done.load(
+                   std::memory_order_acquire) < t)
+            backoff(spins);
+    }
+}
+
+void
+TickWavefront::requestStop()
+{
+    go.store(stopCycle, std::memory_order_release);
+}
+
+void
+TickWavefront::enter(int core)
+{
+    // The published cycle is stable for the duration of a tick (the
+    // main thread only advances it after awaitAll), and the worker
+    // already acquired it in awaitCycle, so a relaxed load suffices.
+    const Cycle t = go.load(std::memory_order_relaxed);
+    CoreSync &me = cs[static_cast<std::size_t>(core)];
+    if (me.granted == t)
+        return;
+    for (int k = 0; k < core; ++k) {
+        unsigned spins = 0;
+        while (cs[static_cast<std::size_t>(k)].done.load(
+                   std::memory_order_acquire) < t)
+            backoff(spins);
+    }
+    me.granted = t;
+}
+
+} // namespace smt

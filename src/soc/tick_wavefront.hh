@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synchronization core of the parallel chip tick ("wavefront"
+ * execution): the N cores of a ChipSimulator tick concurrently on
+ * worker threads, and determinism at the shared-LLC boundary is
+ * preserved by *ordering*, not buffering — a core's first LLC
+ * access in chip cycle T blocks until every lower-id core has
+ * finished its cycle-T tick. LLC results (hit/ready) are consumed
+ * synchronously mid-tick by the pipelines, so the global sequence
+ * of SharedCache accesses under this gate is exactly the serial
+ * core-id-order sequence, and the whole simulation stays
+ * byte-identical to --chip-jobs 1 (pinned by the parallel-vs-serial
+ * golden tests).
+ *
+ * Deadlock freedom: a core only ever waits on lower-id cores, and
+ * each worker ticks its cores in ascending id order, so the
+ * waits-for relation follows the strict order on core ids — if
+ * worker A (at core a) waits on core x owned by B, then B's current
+ * core b <= x < a, and every core B could wait on is < b < a and
+ * therefore already completed by A or a third worker strictly
+ * earlier in the order.
+ *
+ * All waits spin briefly and then yield: a simulated cycle is
+ * microseconds of host work, but the host may have fewer free CPUs
+ * than workers, and a pure spin would burn the very scheduling
+ * quantum the awaited worker needs.
+ */
+
+#ifndef DCRA_SMT_SOC_TICK_WAVEFRONT_HH
+#define DCRA_SMT_SOC_TICK_WAVEFRONT_HH
+
+#include <atomic>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/shared_cache.hh"
+
+namespace smt {
+
+class TickWavefront : public LlcAccessGate
+{
+  public:
+    /** awaitCycle() result meaning "shut down" (requestStop()). */
+    static constexpr Cycle stopCycle = ~Cycle(0);
+
+    explicit TickWavefront(int numCores);
+
+    /** Publish chip cycle @p t and release the workers. Main thread
+     *  only, after awaitAll() of the previous cycle. */
+    void beginCycle(Cycle t);
+
+    /** Block until a cycle newer than @p last is published; returns
+     *  it (stopCycle after requestStop()). Worker threads. */
+    Cycle awaitCycle(Cycle last) const;
+
+    /** Mark @p core's tick for cycle @p t complete. */
+    void coreDone(int core, Cycle t);
+
+    /** Block until every core has completed cycle @p t. */
+    void awaitAll(Cycle t) const;
+
+    /** Publish the poison cycle: workers return stopCycle from
+     *  awaitCycle and exit. Main thread, after awaitAll(). */
+    void requestStop();
+
+    /**
+     * LlcAccessGate: called by SharedCache::access on the worker
+     * ticking @p core; the first call of a core's tick blocks until
+     * all lower-id cores finished the published cycle, later calls
+     * in the same cycle return immediately.
+     */
+    void enter(int core) override;
+
+  private:
+    /** One cache line per core: its completion flag plus the owning
+     *  worker's gate-grant cache, false-sharing-free. */
+    struct alignas(64) CoreSync
+    {
+        std::atomic<Cycle> done{0}; //!< last fully ticked cycle
+        Cycle granted = 0; //!< cycle enter() last granted (owning
+                           //!< worker only; no concurrent access)
+    };
+
+    /** Spin for a few iterations, then yield the host CPU. */
+    static void backoff(unsigned &spins);
+
+    int nCores;
+    std::vector<CoreSync> cs;
+    std::atomic<Cycle> go{0}; //!< cycle the workers may tick
+};
+
+} // namespace smt
+
+#endif // DCRA_SMT_SOC_TICK_WAVEFRONT_HH

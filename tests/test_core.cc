@@ -167,10 +167,20 @@ TEST(InstPool, AllocFreeReuse)
     EXPECT_NE(a, b);
     EXPECT_EQ(pool.live(), 2u);
     pool[a].seq = 42;
+    pool[a].pendingOps = 2;
+    pool[a].inIQ = true;
+    pool[a].waitNext[0] = 7;
+    pool[a].pdst = 3;
     pool.free(a);
     const InstHandle c = pool.alloc();
-    EXPECT_EQ(c, a); // LIFO reuse
-    EXPECT_EQ(pool[c].seq, 0u) << "alloc must clear the record";
+    EXPECT_EQ(c, a); // LIFO: most recently freed slot is reused
+    // alloc resets all pipeline state (ti/snap are the fetch
+    // stage's to assign; see DynInst::resetForFetch).
+    EXPECT_EQ(pool[c].seq, 0u);
+    EXPECT_EQ(pool[c].pendingOps, 0);
+    EXPECT_FALSE(pool[c].inIQ);
+    EXPECT_EQ(pool[c].waitNext[0], invalidWaitLink);
+    EXPECT_EQ(pool[c].pdst, invalidPhysReg);
 }
 
 // ---------------- pipeline-level behaviour ----------------

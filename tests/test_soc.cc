@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -227,6 +230,218 @@ TEST(SharedCache, PerCoreMshrQuotaBackpressures)
 }
 
 // ---------------------------------------------------------------
+// arbitration state across epoch flips / misbehaving arbiters
+// ---------------------------------------------------------------
+
+/**
+ * Test arbiter that partitions the LLC ways 50/50 for its first
+ * epoch and then stops partitioning: the transition a dynamic
+ * way-partitioning arbiter makes when it decides sharing is better.
+ * The SharedCache must undo the deal (full masks, zero way counts,
+ * empty domain occupancy) rather than leave the cores restricted to
+ * their stale masks.
+ */
+class FlipToUnpartitionedArbiter : public ResourceArbiter
+{
+  public:
+    explicit FlipToUnpartitionedArbiter(int ways_) : ways(ways_) {}
+
+    const char *name() const override { return "flip-unpart"; }
+    bool gatesClaims() const override { return false; }
+    unsigned arbEventMask() const override { return 0; }
+
+    void
+    beginEpoch(std::uint64_t epoch, Cycle now) override
+    {
+        (void)now;
+        partitioned = epoch < 1;
+    }
+
+    int
+    shareOf(int c, int kind) const override
+    {
+        if (kind == ChipWay && partitioned)
+            return c == 0 ? ways / 2 : ways - ways / 2;
+        return shareUnlimited;
+    }
+
+  private:
+    int ways;
+    bool partitioned = true;
+};
+
+TEST(SharedCache, UnpartitioningEpochReleasesStaleWayState)
+{
+    SharedCacheParams p;
+    const int assoc = p.tags.assoc;
+    SharedCache llc(
+        p, 2, std::make_unique<FlipToUnpartitionedArbiter>(assoc));
+
+    // Construction-time sync dealt the partition.
+    EXPECT_EQ(llc.wayCountOf(0), assoc / 2);
+    EXPECT_EQ(llc.wayCountOf(1), assoc - assoc / 2);
+    EXPECT_NE(llc.fillMaskOf(0), Cache::allWays);
+    EXPECT_NE(llc.fillMaskOf(1), Cache::allWays);
+    EXPECT_EQ(llc.domain().occupancy(0, ChipWay), assoc / 2);
+
+    // First access past the epoch boundary: the arbiter stops
+    // partitioning; masks must open up and every dealt way must
+    // return to the domain.
+    (void)llc.access(0, 0x1000, p.arbEpoch);
+    EXPECT_EQ(llc.wayCountOf(0), 0);
+    EXPECT_EQ(llc.wayCountOf(1), 0);
+    EXPECT_EQ(llc.fillMaskOf(0), Cache::allWays);
+    EXPECT_EQ(llc.fillMaskOf(1), Cache::allWays);
+    EXPECT_EQ(llc.domain().occupancy(0, ChipWay), 0);
+    EXPECT_EQ(llc.domain().occupancy(1, ChipWay), 0);
+    llc.auditInvariants();
+}
+
+/** Test arbiter returning a bogus (zero) finite share of @p kind. */
+class ZeroShareArbiter : public ResourceArbiter
+{
+  public:
+    explicit ZeroShareArbiter(int kind_) : kind(kind_) {}
+
+    const char *name() const override { return "zero-share"; }
+    bool gatesClaims() const override { return false; }
+    unsigned arbEventMask() const override { return 0; }
+
+    int
+    shareOf(int c, int k) const override
+    {
+        (void)c;
+        return k == kind ? 0 : shareUnlimited;
+    }
+
+  private:
+    int kind;
+};
+
+/**
+ * Run @p fn in a forked child (stderr silenced) and report whether
+ * it died with SIGABRT — the gtest shim has no death-test support,
+ * so panics are observed through the child's exit status.
+ */
+template <typename Fn>
+bool
+diesWithAbort(Fn fn)
+{
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        if (!std::freopen("/dev/null", "w", stderr))
+            _exit(97);
+        fn();
+        _exit(0); // survived: the assertion did not fire
+    }
+    if (pid < 0)
+        return false;
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid)
+        return false;
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT;
+}
+
+TEST(SharedCache, NonPositiveArbiterSharesAreFatal)
+{
+    // An arbiter handing out a zero MSHR or bus share is a bug in
+    // the arbiter, not a share to round up: the old silent
+    // std::max(1, share) clamp hid it. Both paths must now panic.
+    EXPECT_TRUE(diesWithAbort([] {
+        SharedCache llc(SharedCacheParams{}, 2,
+                        std::make_unique<ZeroShareArbiter>(ChipMshr));
+        (void)llc.access(0, 0x1000, 10);
+    }));
+    EXPECT_TRUE(diesWithAbort([] {
+        SharedCache llc(SharedCacheParams{}, 2,
+                        std::make_unique<ZeroShareArbiter>(ChipBus));
+        (void)llc.access(0, 0x1000, 10);
+    }));
+    // A healthy share of 1 on the same paths stays alive.
+    SharedCache llc(SharedCacheParams{}, 2);
+    (void)llc.access(0, 0x1000, 10);
+    llc.auditInvariants();
+}
+
+/** Test arbiter capping bus slots to one per accounting window. */
+class OneBusSlotArbiter : public ResourceArbiter
+{
+  public:
+    const char *name() const override { return "one-bus-slot"; }
+    bool gatesClaims() const override { return false; }
+    unsigned arbEventMask() const override { return 0; }
+
+    int
+    shareOf(int c, int kind) const override
+    {
+        (void)c;
+        return kind == ChipBus ? 1 : shareUnlimited;
+    }
+};
+
+TEST(SharedCache, BusWindowNeverRollsBackward)
+{
+    // Share exhaustion pushes a core's accounting window forward;
+    // a subsequent request arriving at an *earlier* cycle must be
+    // accounted in the already-reached window (and pushed past it),
+    // never roll the window back and un-count the exhausted ones.
+    SharedCacheParams p;
+    p.latency = 30;
+    p.busLatency = 4;
+    p.memLatency = 300;
+    p.busWindow = 64;
+    SharedCache llc(p, 2,
+                    std::make_unique<OneBusSlotArbiter>());
+    llc.fill(0x1000);
+    llc.fill(0x2000);
+    llc.fill(0x3000);
+
+    // Window 0's single slot.
+    const LlcResult r0 = llc.access(0, 0x1000, 10);
+    EXPECT_EQ(r0.ready, 10 + 30u);
+    // Slot spent: pushed to window 1 (starts at 64).
+    const LlcResult r1 = llc.access(0, 0x2000, 12);
+    EXPECT_EQ(r1.ready, 64 + 30u);
+    // Arrives at cycle 13 < 64: its natural window (0) is behind the
+    // core's accounting window (1), whose slot is spent too, so it
+    // lands in window 2 (starts at 128).
+    const LlcResult r2 = llc.access(0, 0x3000, 13);
+    EXPECT_EQ(r2.ready, 128 + 30u);
+    llc.auditInvariants();
+}
+
+TEST(SharedCache, MshrBackpressureAtExactShareBoundary)
+{
+    // The retire-gated start when out.size() == share: with a share
+    // of 2 and both slots full, the third miss starts exactly at the
+    // earliest outstanding retire time (the k-th smallest with
+    // k = size - share = 0).
+    SharedCacheParams p;
+    p.latency = 30;
+    p.busLatency = 4;
+    p.memLatency = 300;
+    p.mshrsPerCore = 2;
+    SharedCache llc(p, 2);
+
+    const LlcResult r0 = llc.access(0, 0x1000, 0);
+    EXPECT_FALSE(r0.hit);
+    EXPECT_EQ(r0.ready, 0 + 330u); // grant 0
+    const LlcResult r1 = llc.access(0, 0x2000, 1);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_EQ(r1.ready, 4 + 330u); // bus busy until 4
+    EXPECT_EQ(llc.domain().occupancy(0, ChipMshr), 2);
+
+    // Both slots held: start is gated to the first retire (330).
+    const LlcResult r2 = llc.access(0, 0x3000, 2);
+    EXPECT_FALSE(r2.hit);
+    EXPECT_EQ(r2.ready, 330 + 330u);
+    // The retired miss left the domain; the new one took its place.
+    EXPECT_EQ(llc.domain().occupancy(0, ChipMshr), 2);
+    llc.auditInvariants();
+}
+
+// ---------------------------------------------------------------
 // 1-core chip == single-core machine (golden equality)
 // ---------------------------------------------------------------
 
@@ -388,6 +603,67 @@ TEST(TwoCoreChip, PrintCurrent)
 }
 
 // ---------------------------------------------------------------
+// epoch accounting
+// ---------------------------------------------------------------
+
+/**
+ * Round-robin allocator that records every epoch number the chip
+ * hands it (beyond the cold start), so tests can check the chip's
+ * epoch counter against actual allocator invocations.
+ */
+class EpochRecordingAllocator : public ThreadToCoreAllocator
+{
+  public:
+    explicit EpochRecordingAllocator(std::vector<std::uint64_t> *log)
+        : log(log)
+    {
+    }
+
+    const char *name() const override { return "epoch-recording"; }
+
+    std::vector<int>
+    allocate(const ChipTopology &topo,
+             const std::vector<ThreadPerfSample> &metrics,
+             std::uint64_t epoch) override
+    {
+        if (epoch > 0)
+            log->push_back(epoch);
+        std::vector<int> coreOf(metrics.size());
+        for (std::size_t i = 0; i < metrics.size(); ++i)
+            coreOf[i] = static_cast<int>(i) % topo.numCores;
+        return coreOf;
+    }
+
+  private:
+    std::vector<std::uint64_t> *log;
+};
+
+TEST(TwoCoreChip, ZeroLengthIntervalConsumesNoEpoch)
+{
+    std::vector<std::uint64_t> epochs;
+    ChipSimulator chip(
+        twoCoreConfig(), twoCoreBenches(), PolicyKind::Dcra,
+        std::make_unique<EpochRecordingAllocator>(&epochs));
+
+    // Freshly built, no cycles have elapsed: the interval is
+    // zero-length, so the epoch machinery must neither consult the
+    // allocator nor consume an epoch number.
+    chip.runEpochNow();
+    chip.runEpochNow();
+    EXPECT_EQ(chip.epochsRun(), 0u);
+    EXPECT_TRUE(epochs.empty());
+
+    // Real epochs then number contiguously from 1: the counter, the
+    // allocator invocations and the reported result all agree.
+    const SimResult r = chip.run(2500, 1'000'000);
+    ASSERT_GT(epochs.size(), 0u);
+    EXPECT_EQ(chip.epochsRun(), epochs.size());
+    for (std::size_t i = 0; i < epochs.size(); ++i)
+        EXPECT_EQ(epochs[i], i + 1) << "epoch index burnt at " << i;
+    EXPECT_EQ(r.allocEpochs, chip.epochsRun());
+}
+
+// ---------------------------------------------------------------
 // migration handoff
 // ---------------------------------------------------------------
 
@@ -492,6 +768,95 @@ TEST(ChipScale, SixThreadsOnThreeCores)
     for (const ThreadResult &t : r.threads)
         EXPECT_GT(t.committed, 0u) << t.bench;
     ASSERT_EQ(r.coreCommitHashes.size(), 3u);
+}
+
+// ---------------------------------------------------------------
+// parallel chip execution (--chip-jobs)
+// ---------------------------------------------------------------
+
+void
+expectSameChipResult(const SimResult &a, const SimResult &b,
+                     const char *what)
+{
+    expectSameResult(a, b, what);
+    EXPECT_EQ(a.coreCommitHashes, b.coreCommitHashes) << what;
+    EXPECT_EQ(a.migrations, b.migrations) << what;
+    EXPECT_EQ(a.allocEpochs, b.allocEpochs) << what;
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses) << what;
+    EXPECT_EQ(a.llcMisses, b.llcMisses) << what;
+    EXPECT_EQ(a.llcShareReassignments, b.llcShareReassignments)
+        << what;
+}
+
+TEST(ParallelChip, TwoCoreByteIdenticalAcrossArbiters)
+{
+    // The determinism contract: --chip-jobs N reproduces the serial
+    // tick byte for byte — stats, per-core commit-stream hashes and
+    // every arbitration outcome — for every LLC arbiter, including
+    // the dynamic ones whose shares depend on the exact global
+    // order of LLC accesses.
+    for (const char *arb : {"static", "chip-dcra", "way-util"}) {
+        SimConfig base = twoCoreConfig();
+        base.soc.llcArbiter = arb;
+        auto runWith = [&base](int jobs) {
+            SimConfig cfg = base;
+            cfg.soc.chipJobs = jobs;
+            ChipSimulator chip(cfg, twoCoreBenches(),
+                               PolicyKind::Dcra);
+            return chip.run(2500, 1'000'000);
+        };
+        const SimResult serial = runWith(1);
+        const SimResult parallel = runWith(2);
+        expectSameChipResult(serial, parallel, arb);
+        ASSERT_EQ(serial.coreCommitHashes.size(), 2u) << arb;
+    }
+}
+
+TEST(ParallelChip, FourCoreEightThreadsByteIdentical)
+{
+    SimConfig base;
+    base.soc.numCores = 4;
+    base.soc.contextsPerCore = 2;
+    base.soc.allocator = AllocatorKind::Synpa;
+    base.soc.epochCycles = 900;
+    base.soc.drainTimeout = 400;
+    base.soc.llcArbiter = "chip-dcra";
+    const std::vector<std::string> benches = {
+        "mcf", "gzip", "art", "crafty",
+        "twolf", "vpr", "eon", "gcc"};
+    auto runWith = [&](int jobs) {
+        SimConfig cfg = base;
+        cfg.soc.chipJobs = jobs;
+        ChipSimulator chip(cfg, benches, PolicyKind::Icount);
+        return chip.run(1500, 1'000'000);
+    };
+    const SimResult serial = runWith(1);
+    // Workers == cores and workers < cores (unequal core
+    // partitions) must both reproduce the serial bytes.
+    expectSameChipResult(serial, runWith(4), "4C8T jobs=4");
+    expectSameChipResult(serial, runWith(3), "4C8T jobs=3");
+    ASSERT_EQ(serial.coreCommitHashes.size(), 4u);
+}
+
+TEST(ParallelChip, WarmupAndAuditsUnderParallelTick)
+{
+    // Warmup reset, forced migrations and periodic invariant audits
+    // all run on the main thread between parallel cycles; none may
+    // perturb the contract.
+    SimConfig base = twoCoreConfig();
+    base.soc.epochCycles = 400;
+    auto runWith = [&base](int jobs) {
+        SimConfig cfg = base;
+        cfg.soc.chipJobs = jobs;
+        ChipSimulator chip(cfg, twoCoreBenches(), PolicyKind::Dcra,
+                           std::make_unique<AlternateAllocator>());
+        chip.setAuditInterval(400);
+        return chip.run(2000, 1'000'000, 500);
+    };
+    const SimResult serial = runWith(1);
+    const SimResult parallel = runWith(2);
+    expectSameChipResult(serial, parallel, "warmup+audit");
+    EXPECT_GT(parallel.migrations, 0u);
 }
 
 // ---------------------------------------------------------------

@@ -79,6 +79,10 @@ usage()
         "                       static chip-dcra way-equal way-util\n"
         "  --llc-ways N         LLC associativity (pow2, <= 32) for\n"
         "                       way-partitioning experiments\n"
+        "  --chip-jobs N        host threads ticking the chip's\n"
+        "                       cores (1 = serial, 0 = one per host\n"
+        "                       thread); results are byte-identical\n"
+        "                       for every value\n"
         "  --json               emit the sweep JSON schema instead\n"
         "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
@@ -107,6 +111,8 @@ usage()
         "  --allocator a,b      thread-to-core allocator axis\n"
         "  --llc-arbiter a,b    LLC-arbiter axis (multi-core)\n"
         "  --llc-ways a,b       LLC-associativity axis (multi-core)\n"
+        "  --chip-jobs N        host threads per multi-core chip\n"
+        "                       (byte-identical for every value)\n"
         "  --contexts N         contexts per core (multi-core)\n"
         "  --epoch N            reallocation epoch in cycles\n"
         "  --commits N          per-run commit budget (default\n"
@@ -180,6 +186,11 @@ selftest()
     };
     const SimResult c1 = chipRun();
     const SimResult c2 = chipRun();
+    // Third pass on two worker threads: the parallel tick path must
+    // reproduce the serial bytes (this is also the TSan smoke).
+    ccfg.soc.chipJobs = 2;
+    const SimResult c3 = chipRun();
+    ccfg.soc.chipJobs = 1;
     double chipTp = 0.0;
     for (const ThreadResult &t : c1.threads) {
         if (std::isnan(t.ipc) || t.ipc <= 0.0) {
@@ -195,6 +206,14 @@ selftest()
         c1.migrations != c2.migrations) {
         std::fprintf(stderr, "selftest: 2-core chip run is not "
                      "deterministic\n");
+        ok = false;
+    }
+    if (c1.cycles != c3.cycles ||
+        c1.coreCommitHashes != c3.coreCommitHashes ||
+        c1.migrations != c3.migrations ||
+        c1.llcAccesses != c3.llcAccesses) {
+        std::fprintf(stderr, "selftest: --chip-jobs 2 diverged from "
+                     "the serial 2-core run\n");
         ok = false;
     }
     if (c1.migrations == 0) {
@@ -490,6 +509,16 @@ sweepMain(int argc, char **argv)
             spec.base.mem.perfectDcache = true;
         } else if (arg == "--no-hmean") {
             spec.computeHmean = false;
+        } else if (arg == "--chip-jobs") {
+            const int n =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (n < 0) {
+                std::fprintf(stderr,
+                             "error: --chip-jobs wants N >= 0 "
+                             "(0 = one per host thread)\n");
+                return 1;
+            }
+            spec.base.soc.chipJobs = n;
         } else if (arg == "--jobs") {
             jobs = static_cast<int>(
                 std::strtol(next(), nullptr, 10));
@@ -723,6 +752,15 @@ main(int argc, char **argv)
                 static_cast<int>(std::strtol(next(), nullptr, 10));
             if (!validateLlcWays(cfg.soc.llcWays))
                 return 1;
+        } else if (arg == "--chip-jobs") {
+            cfg.soc.chipJobs =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (cfg.soc.chipJobs < 0) {
+                std::fprintf(stderr,
+                             "error: --chip-jobs wants N >= 0 "
+                             "(0 = one per host thread)\n");
+                return 1;
+            }
         } else if (arg == "--json") {
             jsonOut = true;
         } else if (arg == "--list-benchmarks") {
