@@ -35,6 +35,8 @@
 
 namespace smt {
 
+class TelemetryHub;
+
 /** shareOf() value meaning "no cap for this claimant". */
 constexpr int shareUnlimited = std::numeric_limits<int>::max();
 
@@ -160,6 +162,20 @@ class ResourceArbiter
      * override; static ones never reassign.
      */
     virtual std::uint64_t reassignments() const { return 0; }
+
+    /**
+     * Opt into telemetry: record decision events (share
+     * reassignments, fast/slow transitions, way re-deals) on
+     * @p eventTrack of @p hub. Called only when telemetry is
+     * enabled; the default arbiter emits nothing. Emissions must
+     * happen only inside beginEpoch()/the domain-event hooks, whose
+     * invocation order is deterministic for every worker count.
+     */
+    virtual void attachTelemetry(TelemetryHub *hub, int eventTrack)
+    {
+        (void)hub;
+        (void)eventTrack;
+    }
 
   protected:
     /** Hook for subclasses needing setup after bindDomain(). */

@@ -1,9 +1,11 @@
 #include "alloc/chip_arbiters.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "alloc/registry.hh"
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
@@ -49,6 +51,12 @@ ChipDcraArbiter::beginEpoch(std::uint64_t epoch, Cycle now)
     std::vector<bool> active(static_cast<std::size_t>(p.numCores));
     for (int c = 0; c < p.numCores; ++c) {
         const bool slow = dom->occupancy(c, ChipMshr) > 0;
+        if (tlm && slow != slowMask[static_cast<std::size_t>(c)]) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "{\"core\": %d}", c);
+            tlm->event(tlmTrack, now,
+                       slow ? "core-slow" : "core-fast", buf);
+        }
         slowMask[static_cast<std::size_t>(c)] = slow;
         const bool act =
             now - dom->lastAcquire(c, ChipMshr) <= p.activityWindow;
@@ -79,8 +87,41 @@ ChipDcraArbiter::beginEpoch(std::uint64_t epoch, Cycle now)
         mshrShare[i] = m;
         busShare[i] = b;
     }
-    if (changed)
+    if (changed) {
         ++nReassigned;
+        if (tlm) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"mshrLimit\": %d, \"busLimit\": %d, "
+                          "\"slowActive\": %d, \"fastActive\": %d}",
+                          mshrLimit, busLimit, slowActive,
+                          fastActive);
+            tlm->event(tlmTrack, now, "share-reassign", buf);
+        }
+    }
+}
+
+void
+ChipDcraArbiter::attachTelemetry(TelemetryHub *hub, int eventTrack)
+{
+    tlm = hub;
+    tlmTrack = eventTrack;
+    for (int c = 0; c < p.numCores; ++c) {
+        const std::string pre =
+            "arb.c" + std::to_string(c) + ".";
+        // -1 renders "unlimited" (the mshrShareOf() convention);
+        // shareUnlimited itself would dwarf any plot scale.
+        hub->gauge(pre + "mshrShare", [this, c] {
+            const int s = mshrShare[static_cast<std::size_t>(c)];
+            return s == shareUnlimited ? -1.0
+                                       : static_cast<double>(s);
+        });
+        hub->gauge(pre + "busShare", [this, c] {
+            const int s = busShare[static_cast<std::size_t>(c)];
+            return s == shareUnlimited ? -1.0
+                                       : static_cast<double>(s);
+        });
+    }
 }
 
 // ---------------------------------------------------------------
@@ -154,8 +195,35 @@ WayPartitionArbiter::beginEpoch(std::uint64_t epoch, Cycle now)
     if (deal != wayCount) {
         wayCount = std::move(deal);
         ++nReassigned;
+        if (tlm) {
+            std::string args = "{\"ways\": [";
+            for (int c = 0; c < p.numCores; ++c) {
+                if (c)
+                    args += ", ";
+                args += std::to_string(
+                    wayCount[static_cast<std::size_t>(c)]);
+            }
+            args += "]}";
+            tlm->event(tlmTrack, now, "way-redeal",
+                       std::move(args));
+        }
     }
     std::fill(epochAccesses.begin(), epochAccesses.end(), 0);
+}
+
+void
+WayPartitionArbiter::attachTelemetry(TelemetryHub *hub,
+                                     int eventTrack)
+{
+    tlm = hub;
+    tlmTrack = eventTrack;
+    for (int c = 0; c < p.numCores; ++c) {
+        hub->gauge("arb.c" + std::to_string(c) + ".ways",
+                   [this, c] {
+                       return static_cast<double>(
+                           wayCount[static_cast<std::size_t>(c)]);
+                   });
+    }
 }
 
 // ---------------------------------------------------------------

@@ -121,6 +121,11 @@ class ChipDcraArbiter : public ResourceArbiter
 
     std::uint64_t reassignments() const override { return nReassigned; }
 
+    /** Per-core share gauges plus slow/fast-transition and share-
+     *  reassignment events at epoch boundaries (the LLC's
+     *  deterministic access stream drives the epochs). */
+    void attachTelemetry(TelemetryHub *hub, int eventTrack) override;
+
     /** @name Introspection (tests) */
     /** @{ */
     bool isSlow(int c) const { return slowMask[static_cast<std::size_t>(c)]; }
@@ -133,6 +138,8 @@ class ChipDcraArbiter : public ResourceArbiter
     std::vector<int> busShare;  //!< per-core bus slots per window
     std::vector<bool> slowMask;
     std::uint64_t nReassigned = 0;
+    TelemetryHub *tlm = nullptr;
+    int tlmTrack = 0;
 };
 
 /**
@@ -185,6 +192,9 @@ class WayPartitionArbiter : public ResourceArbiter
 
     std::uint64_t reassignments() const override { return nReassigned; }
 
+    /** Way-re-deal events (util mode) at epoch boundaries. */
+    void attachTelemetry(TelemetryHub *hub, int eventTrack) override;
+
   private:
     /** Even deal: ways / cores each, remainder to the low cores. */
     std::vector<int> equalDeal() const;
@@ -194,6 +204,8 @@ class WayPartitionArbiter : public ResourceArbiter
     std::vector<int> wayCount;
     std::vector<std::uint64_t> epochAccesses;
     std::uint64_t nReassigned = 0;
+    TelemetryHub *tlm = nullptr;
+    int tlmTrack = 0;
 };
 
 /**

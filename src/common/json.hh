@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared deterministic JSON formatting helpers. Every emitter in the
+ * tree (the sweep result sinks, the telemetry NDJSON/Chrome-trace
+ * writers, the perf benchmark) must produce byte-identical output for
+ * identical inputs across hosts and worker counts, so all of them
+ * format through these fixed-width, locale-independent primitives
+ * instead of ostream state.
+ */
+
+#ifndef DCRA_SMT_COMMON_JSON_HH
+#define DCRA_SMT_COMMON_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace smt {
+
+/** Fixed-precision double: "%.*f", never locale- or host-varying. */
+inline std::string
+fmtDouble(double v, int prec = 6)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Hash as a hex string: u64 does not fit a JSON double exactly. */
+inline std::string
+hexU64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace smt
+
+#endif // DCRA_SMT_COMMON_JSON_HH

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 namespace smt {
 
@@ -10,9 +12,26 @@ namespace {
 void
 vreport(const char *level, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", level);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format the whole "level: message\n" line first and emit it
+    // with a single write: --chip-jobs worker threads report
+    // concurrently, and the old fprintf triplet interleaved
+    // mid-line. (One stdio call per line is atomic in practice —
+    // POSIX requires stdio functions to be thread-safe — and keeps
+    // this path lock-free.)
+    std::va_list measure;
+    va_copy(measure, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+
+    std::string line(level);
+    line += ": ";
+    if (n > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        line.append(buf.data(), static_cast<std::size_t>(n));
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
 }
 

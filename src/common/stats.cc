@@ -46,6 +46,7 @@ Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
     total = 0;
+    overflowCnt = 0;
 }
 
 double

@@ -52,8 +52,11 @@ class RunningMean
 
 /**
  * Fixed-bucket histogram over [0, buckets); samples beyond the last
- * bucket are clamped into it. Used e.g. for the per-cycle count of
- * outstanding L2 misses (memory-level parallelism).
+ * bucket are clamped into it, but counted: overflow() reports how
+ * many samples landed past the end, so exported tails are honest
+ * about the clamping instead of silently folding it into the last
+ * bucket. Used e.g. for the per-cycle count of outstanding L2 misses
+ * (memory-level parallelism).
  */
 class Histogram
 {
@@ -66,9 +69,11 @@ class Histogram
     void
     sample(std::uint64_t v)
     {
-        const std::size_t idx =
-            v < counts.size() ? static_cast<std::size_t>(v)
-                              : counts.size() - 1;
+        std::size_t idx = static_cast<std::size_t>(v);
+        if (v >= counts.size()) {
+            idx = counts.size() - 1;
+            ++overflowCnt;
+        }
         ++counts[idx];
         ++total;
     }
@@ -78,6 +83,9 @@ class Histogram
 
     /** Total number of samples. */
     std::uint64_t count() const { return total; }
+
+    /** Samples that fell beyond the last bucket (clamped into it). */
+    std::uint64_t overflow() const { return overflowCnt; }
 
     /** Mean of all samples (clamped values included as clamped). */
     double mean() const;
@@ -94,6 +102,7 @@ class Histogram
   private:
     std::vector<std::uint64_t> counts;
     std::uint64_t total = 0;
+    std::uint64_t overflowCnt = 0;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
@@ -80,6 +81,41 @@ Pipeline::resetStats()
     }
     pstats = std::move(fresh);
     statsStartCycle = cycle;
+}
+
+void
+Pipeline::registerTelemetry(TelemetryHub &hub,
+                            const std::string &prefix)
+{
+    for (int t = 0; t < cfg.numThreads; ++t) {
+        const std::string p =
+            prefix + "t" + std::to_string(t) + ".";
+        hub.rate(p + "ipc", [this, t] {
+            return pstats.committed[t];
+        });
+        hub.rate(p + "fetch", [this, t] {
+            return pstats.fetched[t];
+        });
+        hub.rate(p + "issue", [this, t] {
+            return pstats.issued[t];
+        });
+        hub.gauge(p + "rob", [this, t] {
+            return static_cast<double>(robBuf.size(t));
+        });
+        hub.gauge(p + "iq", [this, t] {
+            return static_cast<double>(
+                rtracker.occupancy(ResIqInt, t) +
+                rtracker.occupancy(ResIqFp, t) +
+                rtracker.occupancy(ResIqLs, t));
+        });
+        hub.gauge(p + "regs", [this, t] {
+            return static_cast<double>(
+                rtracker.occupancy(ResRegInt, t) +
+                rtracker.occupancy(ResRegFp, t));
+        });
+    }
+    mem.registerTelemetry(hub, prefix);
+    policy.registerTelemetry(hub, prefix);
 }
 
 void
@@ -506,6 +542,7 @@ Pipeline::issueStage()
                 finish = cycle + opLatency(d.ti.op, cfg);
             }
 
+            ++pstats.issued[d.tid];
             d.issued = true;
             d.inIQ = false;
             d.inReadyList = false;

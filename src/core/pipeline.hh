@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bpred/predictor.hh"
@@ -32,6 +33,8 @@
 
 namespace smt {
 
+class TelemetryHub;
+
 /** Aggregate per-run pipeline statistics. */
 struct PipelineStats
 {
@@ -49,6 +52,7 @@ struct PipelineStats
 
     std::uint64_t fetched[maxThreads] = {};
     std::uint64_t fetchedWrongPath[maxThreads] = {};
+    std::uint64_t issued[maxThreads] = {};
     std::uint64_t committed[maxThreads] = {};
     std::uint64_t squashed[maxThreads] = {};
     std::uint64_t condBranches[maxThreads] = {};
@@ -125,6 +129,17 @@ class Pipeline
 
     /** Current cycle. */
     Cycle now() const { return cycle; }
+
+    /**
+     * Register this core's time-series channels (per-thread IPC /
+     * fetch / issue rates, ROB/IQ/reg occupancy gauges) under
+     * @p prefix (e.g. "" single-core, "c0." per chip core) and
+     * forward to the policy's own channels. Called only when
+     * telemetry is enabled; readers are sampled from the main thread
+     * between cycles.
+     */
+    void registerTelemetry(TelemetryHub &hub,
+                           const std::string &prefix);
 
     /** Run statistics. */
     const PipelineStats &stats() const { return pstats; }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
@@ -144,6 +145,33 @@ MemorySystem::instFetch(ThreadID tid, Addr pc, Cycle now)
     l1iCache->fill(pc);
     mshrI.alloc(line, ready, tid, level, false);
     return {true, false, ready};
+}
+
+void
+MemorySystem::registerTelemetry(TelemetryHub &hub,
+                                const std::string &prefix)
+{
+    for (int t = 0; t < nThreads; ++t) {
+        const std::string pre =
+            prefix + "t" + std::to_string(t) + ".";
+        hub.ratio(
+            pre + "l1dMissRate",
+            [this, t] { return sL1dMiss[t]; },
+            [this, t] { return sL1dAcc[t]; });
+        hub.ratio(
+            pre + "l2MissRate",
+            [this, t] { return sL2Miss[t]; },
+            [this, t] { return sL2Acc[t]; });
+    }
+    hub.gauge(prefix + "mem.mshrD", [this] {
+        return static_cast<double>(mshrD.live());
+    });
+    hub.gauge(prefix + "mem.mshrI", [this] {
+        return static_cast<double>(mshrI.live());
+    });
+    hub.gauge(prefix + "mem.outstanding", [this] {
+        return static_cast<double>(outstandingMemLoads());
+    });
 }
 
 void

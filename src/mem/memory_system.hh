@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -21,6 +22,8 @@
 #include "mem/tlb.hh"
 
 namespace smt {
+
+class TelemetryHub;
 
 /** Hierarchy-wide configuration (paper Table 2 defaults). */
 struct MemParams
@@ -96,6 +99,15 @@ class MemorySystem
 
     /** Zero all statistics; cache/TLB contents are untouched. */
     void resetStats();
+
+    /**
+     * Register this hierarchy's time-series channels (per-thread
+     * L1D/L2 miss-rate ratios, MSHR occupancy and outstanding-miss
+     * gauges) under @p prefix. Telemetry-only path; readers are
+     * sampled from the main thread between cycles.
+     */
+    void registerTelemetry(TelemetryHub &hub,
+                           const std::string &prefix);
 
     /** Outstanding L1D *load* misses (any level) for a thread.
      *  Inline: polled per thread per cycle (DCRA phase test and the

@@ -1,9 +1,11 @@
 #include "mem/shared_cache.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
@@ -121,6 +123,7 @@ SharedCache::SharedCache(const SharedCacheParams &params,
     sAcc.assign(static_cast<std::size_t>(numCores), 0);
     sMiss.assign(static_cast<std::size_t>(numCores), 0);
     sOwned.assign(static_cast<std::size_t>(numCores), 0);
+    sArbWait.assign(static_cast<std::size_t>(numCores), 0);
 
     nextEpochAt = p.arbEpoch;
     syncWayMasks(0);
@@ -248,6 +251,29 @@ SharedCache::access(int core, Addr addr, Cycle now)
     advanceEpochs(now);
     ++sAcc[core];
 
+    if (tlm && lastAccCycleT[static_cast<std::size_t>(core)] != now) {
+        // First access of this core at timestamp `now`. Accesses of
+        // one chip cycle all carry the same timestamp and arrive in
+        // core-id order (serially, or reproduced by the wavefront
+        // gate), so finding the timestamp already opened by another
+        // core means this entry sat behind the LLC gate — record the
+        // serial-order fact, which is identical for every --chip-jobs
+        // value.
+        lastAccCycleT[static_cast<std::size_t>(core)] = now;
+        if (gateCycle == now) {
+            ++sGateFollow[static_cast<std::size_t>(core)];
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"core\": %d, \"pos\": %d}", core,
+                          gateEntrants);
+            tlm->event(tlmTrack, now, "llc-gate", buf);
+        } else {
+            gateCycle = now;
+            gateEntrants = 0;
+        }
+        ++gateEntrants;
+    }
+
     // Retire this core's misses that completed by now; the vector is
     // bounded by the share, so the scan is a handful of compares.
     std::vector<Cycle> &out = outstanding[core];
@@ -322,7 +348,7 @@ SharedCache::access(int core, Addr addr, Cycle now)
     // Shared bus: one transaction at a time, fixed occupancy.
     const Cycle grant = std::max(start, busFreeAt);
     busFreeAt = grant + p.busLatency;
-    sArbWait += grant - now;
+    sArbWait[static_cast<std::size_t>(core)] += grant - now;
 
     LlcResult res;
     res.hit = llc.access(addr);
@@ -350,7 +376,34 @@ SharedCache::resetStats()
     llc.resetStats();
     std::fill(sAcc.begin(), sAcc.end(), 0);
     std::fill(sMiss.begin(), sMiss.end(), 0);
-    sArbWait = 0;
+    std::fill(sArbWait.begin(), sArbWait.end(), 0);
+    std::fill(sGateFollow.begin(), sGateFollow.end(), 0);
+}
+
+void
+SharedCache::attachTelemetry(TelemetryHub &hub)
+{
+    tlm = &hub;
+    tlmTrack = hub.track("llc");
+    lastAccCycleT.assign(static_cast<std::size_t>(nCores),
+                         ~static_cast<Cycle>(0));
+    sGateFollow.assign(static_cast<std::size_t>(nCores), 0);
+    for (int c = 0; c < nCores; ++c) {
+        const std::string pre =
+            "llc.c" + std::to_string(c) + ".";
+        hub.rate(pre + "accesses", [this, c] { return sAcc[c]; });
+        hub.rate(pre + "misses", [this, c] { return sMiss[c]; });
+        hub.ratio(pre + "missRate", [this, c] { return sMiss[c]; },
+                  [this, c] { return sAcc[c]; });
+        hub.rate(pre + "busWait", [this, c] {
+            return sArbWait[static_cast<std::size_t>(c)];
+        });
+        hub.counter(pre + "gateFollows", [this, c] {
+            return sGateFollow[static_cast<std::size_t>(c)];
+        });
+    }
+    arb->attachTelemetry(
+        &hub, hub.track(std::string("arb:") + arb->name()));
 }
 
 void

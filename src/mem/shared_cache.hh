@@ -133,7 +133,19 @@ class SharedCache
     std::uint64_t totalAccesses() const;
     std::uint64_t totalMisses() const;
     /** Cycles requests spent waiting for the bus or an MSHR slot. */
-    std::uint64_t arbWaitCycles() const { return sArbWait; }
+    std::uint64_t
+    arbWaitCycles() const
+    {
+        std::uint64_t s = 0;
+        for (const std::uint64_t v : sArbWait)
+            s += v;
+        return s;
+    }
+    /** Same, for one core (telemetry's per-core bus-wait channel). */
+    std::uint64_t arbWaitCycles(int core) const
+    {
+        return sArbWait[static_cast<std::size_t>(core)];
+    }
     /** LLC lines currently owned (filled) by a core. */
     std::uint64_t linesOwned(int core) const { return sOwned[core]; }
     /** @} */
@@ -166,6 +178,27 @@ class SharedCache
      * the chip layer installs it for the duration of a parallel run.
      */
     void setAccessGate(LlcAccessGate *g) { gate = g; }
+
+    /**
+     * Opt into telemetry: per-core access/miss/miss-rate/bus-wait
+     * channels, deterministic gate-order events (core c's first LLC
+     * access of a chip cycle arriving after lower cores already
+     * touched the LLC that cycle — the access-stream fact behind a
+     * potential TickWavefront gate wait, identical for every
+     * --chip-jobs value), and the arbiter's own event stream.
+     * Emissions happen inside access(), whose total order across
+     * cores is reproduced exactly by the wavefront gate.
+     */
+    void attachTelemetry(TelemetryHub &hub);
+
+    /** Gate-order events recorded for a core (telemetry tests). */
+    std::uint64_t
+    gateFollows(int core) const
+    {
+        return sGateFollow.empty()
+            ? 0
+            : sGateFollow[static_cast<std::size_t>(core)];
+    }
 
     /** Underlying tag array, for tests. */
     Cache &tags() { return llc; }
@@ -234,7 +267,24 @@ class SharedCache
     std::vector<std::uint64_t> sAcc;
     std::vector<std::uint64_t> sMiss;
     std::vector<std::uint64_t> sOwned;
-    std::uint64_t sArbWait = 0;
+    std::vector<std::uint64_t> sArbWait;
+
+    /** @name Telemetry (null/empty unless attachTelemetry ran).
+     * Gate-order detection keys on access timestamps: every core's
+     * accesses in one chip cycle carry the same `now` (tick cycle
+     * plus the fixed private-hierarchy offset) and the stream visits
+     * cycle-T accesses in core-id order before any cycle-T+1 access,
+     * so "first access at a timestamp someone already opened" is
+     * exactly the serial-order fact the TickWavefront gate enforces.
+     */
+    /** @{ */
+    TelemetryHub *tlm = nullptr;
+    int tlmTrack = 0;
+    std::vector<Cycle> lastAccCycleT;     //!< last timestamp per core
+    Cycle gateCycle = ~static_cast<Cycle>(0); //!< open timestamp
+    int gateEntrants = 0;                 //!< cores seen this stamp
+    std::vector<std::uint64_t> sGateFollow;
+    /** @} */
 };
 
 } // namespace smt

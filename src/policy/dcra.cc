@@ -1,5 +1,7 @@
 #include "policy/dcra.hh"
 
+#include "telemetry/telemetry.hh"
+
 namespace smt {
 
 DcraPolicy::DcraPolicy(const PolicyParams &pp)
@@ -62,6 +64,20 @@ DcraPolicy::beginCycle(Cycle now)
         gatedMask[t] = false;
     }
 
+    if (countFlips) {
+        // Telemetry-armed runs count fast<->slow phase transitions;
+        // the counters are read by the hub's sampler on the main
+        // thread between cycles (this code runs inside the worker-
+        // parallel region under --chip-jobs, so it may only touch
+        // this policy's own state).
+        for (int t = 0; t < n; ++t) {
+            if (slow[t] != prevSlow[t]) {
+                ++flips[t];
+                prevSlow[t] = slow[t];
+            }
+        }
+    }
+
     for (int r = 0; r < NumResourceTypes; ++r) {
         const auto rt = static_cast<ResourceType>(r);
         int fastActive = 0;
@@ -113,6 +129,17 @@ DcraPolicy::fetchAllowed(ThreadID t, Cycle now)
 {
     (void)now;
     return !gatedMask[t];
+}
+
+void
+DcraPolicy::registerTelemetry(TelemetryHub &hub,
+                              const std::string &prefix)
+{
+    countFlips = true;
+    for (int t = 0; t < ctx.cfg->numThreads; ++t) {
+        hub.counter(prefix + "t" + std::to_string(t) + ".slowFlips",
+                    [this, t] { return flips[t]; });
+    }
 }
 
 } // namespace smt

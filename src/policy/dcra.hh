@@ -25,7 +25,9 @@
 #ifndef DCRA_SMT_POLICY_DCRA_HH
 #define DCRA_SMT_POLICY_DCRA_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "policy/policy_params.hh"
@@ -87,7 +89,16 @@ class DcraPolicy : public Policy
     /** Is t currently fetch-gated? */
     bool isGated(ThreadID t) const { return gatedMask[t]; }
 
+    /** Fast<->slow phase transitions of t since bind (telemetry). */
+    std::uint64_t phaseFlips(ThreadID t) const { return flips[t]; }
+
     /** @} */
+
+    /** Expose per-thread phase-flip counters as telemetry channels.
+     *  Flip counting itself is armed here — off (zero cost) in
+     *  ordinary runs. */
+    void registerTelemetry(TelemetryHub &hub,
+                           const std::string &prefix) override;
 
   protected:
     void onBind() override;
@@ -124,6 +135,14 @@ class DcraPolicy : public Policy
     int lastFast[NumResourceTypes] = {};
     int lastSlow[NumResourceTypes] = {};
     bool gatedMask[maxThreads] = {};
+
+    /** @name Telemetry-only phase-flip tracking (countFlips arms it;
+     *  the default beginCycle path never touches these). */
+    /** @{ */
+    bool countFlips = false;
+    bool prevSlow[maxThreads] = {};
+    std::uint64_t flips[maxThreads] = {};
+    /** @} */
 };
 
 } // namespace smt

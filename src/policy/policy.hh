@@ -31,6 +31,8 @@
 #ifndef DCRA_SMT_POLICY_POLICY_HH
 #define DCRA_SMT_POLICY_POLICY_HH
 
+#include <string>
+
 #include "alloc/arbiter.hh"
 #include "common/types.hh"
 #include "core/resource_tracker.hh"
@@ -132,6 +134,22 @@ class Policy : public ResourceArbiter
 
     /** Called at the start of every cycle before any stage runs. */
     virtual void beginCycle(Cycle now) { (void)now; }
+
+    /**
+     * Opt into telemetry: register policy-specific time-series
+     * channels (e.g. DCRA's per-thread fast/slow flip counters)
+     * under @p prefix. The default policy exposes nothing. Readers
+     * are sampled from the main thread between cycles, so policies
+     * must only expose plain counters they update during their own
+     * core's tick — never push events from here (per-core policy
+     * code runs inside the --chip-jobs worker-parallel region).
+     */
+    virtual void
+    registerTelemetry(TelemetryHub &hub, const std::string &prefix)
+    {
+        (void)hub;
+        (void)prefix;
+    }
 
     /**
      * May thread t fetch this cycle? Policies stall threads here

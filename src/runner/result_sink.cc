@@ -4,49 +4,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/stats.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
 namespace {
-
-std::string
-fmtDouble(double v, int prec = 6)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-    return buf;
-}
-
-std::string
-fmtU64(std::uint64_t v)
-{
-    return std::to_string(v);
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 /** RFC-4180 quoting: needed for config labels like "mem=100,l2=20". */
 std::string
@@ -109,16 +73,6 @@ appendConfigJson(std::string &out, const SweepJob &job)
         out += ", \"llcWays\": " + std::to_string(c.soc.llcWays);
     }
     out += "}";
-}
-
-/** Hash as a hex string: u64 does not fit a JSON double exactly. */
-std::string
-hexU64(std::uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "0x%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
 }
 
 } // anonymous namespace
@@ -208,10 +162,23 @@ std::string
 JsonSink::render(const SweepResults &res) const
 {
     const bool hmean = res.spec.computeHmean;
+    // Telemetry promotes the document to schema v2 (provenance block
+    // + per-run telemetry file references). With telemetry off the
+    // v1 bytes are pinned exactly — nothing below may change them.
+    const bool tlm = res.spec.telemetry.enabled();
     std::string out = "{\n";
-    out += "  \"schema\": \"smtsim-sweep-v1\",\n";
+    out += "  \"schema\": \"";
+    out += tlm ? "smtsim-sweep-v2" : "smtsim-sweep-v1";
+    out += "\",\n";
     out +=
         "  \"name\": \"" + jsonEscape(res.spec.name) + "\",\n";
+    if (tlm) {
+        out += "  \"provenance\": " + provenanceJson() + ",\n";
+        out += "  \"telemetry\": {\"statsInterval\": " +
+            fmtU64(res.spec.telemetry.statsInterval) +
+            ", \"tracePrefix\": \"" +
+            jsonEscape(res.spec.telemetry.tracePrefix) + "\"},\n";
+    }
     out += "  \"commits\": " + fmtU64(res.spec.commits) + ",\n";
     out += "  \"warmup\": " + fmtU64(res.spec.warmup) + ",\n";
     out += "  \"runs\": [\n";
@@ -236,6 +203,14 @@ JsonSink::render(const SweepResults &res) const
         out += ", \"hmean\": ";
         out += hmean ? fmtDouble(r.summary.hmean) : "null";
         out += ", \"mlpBusyMean\": " + fmtDouble(raw.mlpBusyMean);
+        if (tlm) {
+            const std::string base = telemetryFileBase(
+                res.spec.telemetry.tracePrefix, r.job.index);
+            out += ",\n     \"telemetry\": {\"timeSeries\": \"" +
+                jsonEscape(base + ".ts.ndjson") +
+                "\", \"trace\": \"" +
+                jsonEscape(base + ".trace.json") + "\"}";
+        }
         if (!raw.coreCommitHashes.empty()) {
             // CMP job: the chip-level outcome, including the
             // per-core commit-stream hashes the determinism checks

@@ -6,6 +6,7 @@
 #include "runner/job_scheduler.hh"
 #include "sim/metrics.hh"
 #include "soc/chip.hh"
+#include "telemetry/telemetry.hh"
 
 namespace smt {
 
@@ -44,18 +45,35 @@ SweepRunner::run()
     sched.run(jobs.size(), [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         RunSummary s;
+        // One private hub per job, written to a file named by the
+        // deterministic job index: --jobs N changes neither content
+        // nor names. No hub exists when telemetry is off.
+        std::unique_ptr<TelemetryHub> hub;
+        if (spec.telemetry.enabled()) {
+            hub = std::make_unique<TelemetryHub>(
+                spec.telemetry.statsInterval);
+        }
         if (job.config.soc.numCores > 1) {
             // CMP grid point: the whole chip is one job, so host
             // parallelism still never touches result determinism.
             ChipSimulator chip(job.config, job.workload.benches,
                                job.policy);
+            if (hub)
+                chip.setTelemetry(hub.get());
             s.raw = chip.run(spec.commits, spec.maxCycles,
                              spec.warmup);
         } else {
             Simulator sim(job.config, job.workload.benches,
                           job.policy);
+            if (hub)
+                sim.setTelemetry(hub.get());
             s.raw = sim.run(spec.commits, spec.maxCycles,
                             spec.warmup);
+        }
+        if (hub) {
+            writeTelemetryFiles(
+                *hub, telemetryFileBase(spec.telemetry.tracePrefix,
+                                        job.index));
         }
         for (std::size_t t = 0; t < job.workload.benches.size();
              ++t) {

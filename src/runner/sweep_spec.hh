@@ -77,6 +77,23 @@ struct ConfigOverride
 };
 
 /**
+ * Telemetry request for a sweep (or a single run routed through a
+ * one-job spec). Disabled — the default — means no hub is ever
+ * constructed and the simulation and its outputs are byte-identical
+ * to a build without the subsystem. Enabled, every job gets its own
+ * TelemetryHub and writes <tracePrefix>.job<index>.ts.ndjson plus
+ * <tracePrefix>.job<index>.trace.json (deterministic job-order
+ * naming, so --jobs N never renames anything).
+ */
+struct TelemetrySpec
+{
+    Cycle statsInterval = 0;  //!< sample every N cycles (0 = off)
+    std::string tracePrefix;  //!< output path prefix; "" disables
+
+    bool enabled() const { return !tracePrefix.empty(); }
+};
+
+/**
  * Everything a sweep needs: the base hardware configuration, the
  * run budgets, and the three axes of the grid. An empty config axis
  * means "just the base config".
@@ -92,6 +109,9 @@ struct SweepSpec
 
     /** Compute single-thread baselines (needed for Hmean). */
     bool computeHmean = true;
+
+    /** Per-job time-series/trace capture (off by default). */
+    TelemetrySpec telemetry;
 
     std::vector<Workload> workloads;
     std::vector<PolicyKind> policies;

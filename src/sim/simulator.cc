@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/bench_profile.hh"
 
 namespace smt {
@@ -122,6 +123,18 @@ Simulator::prewarm()
 
 Simulator::~Simulator() = default;
 
+void
+Simulator::setTelemetry(TelemetryHub *hub)
+{
+    telem = hub;
+    if (!telem)
+        return;
+    telemTrack = telem->track("core0");
+    telemSlow.assign(static_cast<std::size_t>(cfg.core.numThreads),
+                     false);
+    pipe->registerTelemetry(*telem, "");
+}
+
 SimResult
 Simulator::run(std::uint64_t commitLimit, Cycle maxCycles,
                std::uint64_t warmupCommits)
@@ -147,18 +160,32 @@ Simulator::run(std::uint64_t commitLimit, Cycle maxCycles,
         static_cast<std::size_t>(n) + 1, 0);
     Histogram mlp(64);
 
+    if (telem)
+        telem->beginSampling(pipe->now());
+
     bool done = false;
     while (!done && pipe->now() < maxCycles) {
         pipe->tick();
 
         int nSlow = 0;
         for (int t = 0; t < n; ++t) {
-            if (mem->pendingL1DLoads(t) > 0)
+            const bool slow = mem->pendingL1DLoads(t) > 0;
+            if (slow)
                 ++nSlow;
+            if (telem &&
+                slow != telemSlow[static_cast<std::size_t>(t)]) {
+                telemSlow[static_cast<std::size_t>(t)] = slow;
+                telem->event(telemTrack, pipe->now(),
+                             slow ? "phase-slow" : "phase-fast",
+                             "{\"thread\": " + std::to_string(t) +
+                                 "}");
+            }
         }
         ++slowCycles[static_cast<std::size_t>(nSlow)];
         mlp.sample(
             static_cast<std::uint64_t>(mem->outstandingMemLoads()));
+        if (telem)
+            telem->tick(pipe->now());
 
         for (int t = 0; t < n; ++t) {
             if (pipe->stats().committed[t] >= commitLimit) {

@@ -168,6 +168,14 @@ class Simulator
                   Cycle maxCycles = 50'000'000,
                   std::uint64_t warmupCommits = 0);
 
+    /**
+     * Attach a telemetry hub (nullptr detaches). Registers the
+     * pipeline's, memory system's and policy's channels; run() then
+     * samples the hub every interval and marks slow-phase
+     * transitions on the "core0" event track. Call before run().
+     */
+    void setTelemetry(TelemetryHub *hub);
+
     /** The pipeline, for tests that need to poke internals. */
     Pipeline &pipeline() { return *pipe; }
 
@@ -188,6 +196,13 @@ class Simulator
     std::unique_ptr<Policy> pol;
     std::vector<std::unique_ptr<SyntheticTraceGenerator>> gens;
     std::unique_ptr<Pipeline> pipe;
+
+    /** @name Telemetry (null unless setTelemetry ran) */
+    /** @{ */
+    TelemetryHub *telem = nullptr;
+    int telemTrack = 0;
+    std::vector<bool> telemSlow; //!< per-thread slow-phase latch
+    /** @} */
 };
 
 /**

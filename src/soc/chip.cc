@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/bench_profile.hh"
 
 namespace smt {
@@ -324,6 +325,32 @@ ChipSimulator::stopTickWorkers()
 }
 
 void
+ChipSimulator::setTelemetry(TelemetryHub *hub)
+{
+    telem = hub;
+    if (!telem)
+        return;
+    allocTrack = telem->track("alloc");
+    coreTracks.clear();
+    for (int c = 0; c < nCores; ++c) {
+        coreTracks.push_back(
+            telem->track("core" + std::to_string(c)));
+        cores[c].pipe->registerTelemetry(
+            *telem, "c" + std::to_string(c) + ".");
+    }
+    // Software threads migrate between cores, so chip-level
+    // per-thread IPC reads the migration-proof committed totals, not
+    // any one pipeline's counters.
+    for (int s = 0; s < nThreads; ++s) {
+        telem->rate("t" + std::to_string(s) + ".ipc",
+                    [this, s] { return committedOf(s); });
+    }
+    if (llc)
+        llc->attachTelemetry(*telem);
+    telemSlow.assign(static_cast<std::size_t>(nThreads), false);
+}
+
+void
 ChipSimulator::resetAllStats()
 {
     for (Core &core : cores) {
@@ -403,6 +430,11 @@ ChipSimulator::runEpoch()
         lastProposal.clear();
         return;
     }
+    int movers = 0;
+    for (int s = 0; s < nThreads; ++s) {
+        if (canon[s] != coreOf[s])
+            ++movers;
+    }
 
     // Debounce: migrations squash in-flight work and run the new
     // core's private caches cold, so a change must survive two
@@ -416,6 +448,12 @@ ChipSimulator::runEpoch()
         canonicalizePlacement(lastProposal, canon, nCores) !=
             lastProposal) {
         lastProposal = canon;
+        if (telem) {
+            telem->event(allocTrack, cycle, "realloc-proposed",
+                         "{\"epoch\": " + std::to_string(epoch) +
+                             ", \"movers\": " +
+                             std::to_string(movers) + "}");
+        }
         return;
     }
     lastProposal.clear();
@@ -423,6 +461,12 @@ ChipSimulator::runEpoch()
     pendingPlacement = canon;
     migrating = true;
     drainDeadline = cycle + cfg.soc.drainTimeout;
+    if (telem) {
+        telem->event(allocTrack, cycle, "realloc-confirmed",
+                     "{\"epoch\": " + std::to_string(epoch) +
+                         ", \"movers\": " + std::to_string(movers) +
+                         "}");
+    }
     for (int s = 0; s < nThreads; ++s) {
         if (pendingPlacement[s] != coreOf[s])
             cores[coreOf[s]].pipe->beginDrain(ctxOf[s]);
@@ -465,6 +509,14 @@ ChipSimulator::completeMigration()
         }
         SMT_ASSERT(ctx >= 0, "no free context on core %d", c);
         used[c][ctx] = true;
+
+        if (telem) {
+            telem->event(allocTrack, cycle, "migrate",
+                         "{\"thread\": " + std::to_string(s) +
+                             ", \"from\": " +
+                             std::to_string(coreOf[s]) +
+                             ", \"to\": " + std::to_string(c) + "}");
+        }
 
         Pipeline::ThreadProgram prog;
         prog.trace = gens[s].get();
@@ -536,6 +588,9 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
         static_cast<std::size_t>(nThreads) + 1, 0);
     Histogram mlp(64);
 
+    if (telem)
+        telem->beginSampling(cycle);
+
     bool done = false;
     while (!done && cycle < maxCycles) {
         tickAllCores();
@@ -543,8 +598,18 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
 
         int nSlow = 0;
         for (int s = 0; s < nThreads; ++s) {
-            if (cores[coreOf[s]].mem->pendingL1DLoads(ctxOf[s]) > 0)
+            const bool slow =
+                cores[coreOf[s]].mem->pendingL1DLoads(ctxOf[s]) > 0;
+            if (slow)
                 ++nSlow;
+            if (telem &&
+                slow != telemSlow[static_cast<std::size_t>(s)]) {
+                telemSlow[static_cast<std::size_t>(s)] = slow;
+                telem->event(
+                    coreTracks[static_cast<std::size_t>(coreOf[s])],
+                    cycle, slow ? "phase-slow" : "phase-fast",
+                    "{\"thread\": " + std::to_string(s) + "}");
+            }
         }
         ++slowCycles[static_cast<std::size_t>(nSlow)];
         std::uint64_t memLoads = 0;
@@ -553,6 +618,8 @@ ChipSimulator::run(std::uint64_t commitLimit, Cycle maxCycles,
                 core.mem->outstandingMemLoads());
         }
         mlp.sample(memLoads);
+        if (telem)
+            telem->tick(cycle);
 
         for (int s = 0; s < nThreads; ++s) {
             if (committedOf(s) >= commitLimit) {

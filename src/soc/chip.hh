@@ -82,6 +82,19 @@ class ChipSimulator
      *  bookkeeping and LLC arbitration; panics on violation. */
     void auditInvariants() const;
 
+    /**
+     * Attach a telemetry hub (nullptr detaches). Registers every
+     * core's pipeline channels under "c<N>.", chip-level per-thread
+     * IPC (migration-proof: reads committedOf), the shared LLC's
+     * channels and the arbiter's event stream; run() then samples
+     * every interval and records allocator epochs, migrations and
+     * phase transitions as events. All emissions happen on the main
+     * thread between cycles, or inside the LLC access stream whose
+     * total order the wavefront gate reproduces, so the files are
+     * byte-identical for every --chip-jobs value. Call before run().
+     */
+    void setTelemetry(TelemetryHub *hub);
+
     /** @name Introspection for tests */
     /** @{ */
     int numCores() const { return nCores; }
@@ -220,6 +233,14 @@ class ChipSimulator
     int nTickWorkers = 1;
     std::unique_ptr<TickWavefront> wavefront;
     std::vector<std::thread> workers;
+    /** @} */
+
+    /** @name Telemetry (null/empty unless setTelemetry ran) */
+    /** @{ */
+    TelemetryHub *telem = nullptr;
+    int allocTrack = 0;
+    std::vector<int> coreTracks;
+    std::vector<bool> telemSlow; //!< per-thread slow-phase latch
     /** @} */
 };
 

@@ -140,9 +140,25 @@ TEST(Histogram, ResetClears)
 {
     Histogram h(4);
     h.sample(1);
+    h.sample(99);
     h.reset();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, CountsOverflowingSamples)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(3); // last bucket, in range: not overflow
+    EXPECT_EQ(h.overflow(), 0u);
+    h.sample(4);
+    h.sample(99);
+    EXPECT_EQ(h.overflow(), 2u);
+    // Clamped samples still land in the last bucket and count.
+    EXPECT_EQ(h.bucket(3), 3u);
+    EXPECT_EQ(h.count(), 4u);
 }
 
 TEST(HarmonicMean, MatchesClosedForm)

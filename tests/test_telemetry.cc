@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: channel arithmetic and buffer
+ * caps on the hub itself, render-format pins (NDJSON header/footer,
+ * Chrome trace metadata), the zero-perturbation guarantee (attaching
+ * a hub changes no simulation outcome), byte-determinism of the
+ * rendered telemetry across --chip-jobs worker counts, sweep-level
+ * v2 JSON byte equality across --jobs, and the v1 byte-pin when
+ * telemetry is off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.hh"
+#include "runner/runner.hh"
+#include "sim/simulator.hh"
+#include "soc/chip.hh"
+#include "telemetry/telemetry.hh"
+
+namespace {
+
+using namespace smt;
+
+// ---------------------------------------------------------------
+// hub unit tests
+// ---------------------------------------------------------------
+
+TEST(TelemetryHub, ChannelArithmetic)
+{
+    std::uint64_t ctr = 0, num = 0, den = 0;
+    double g = 0.0;
+
+    TelemetryHub hub(10);
+    hub.counter("c", [&] { return ctr; });
+    hub.rate("r", [&] { return ctr; });
+    hub.ratio("q", [&] { return num; }, [&] { return den; });
+    hub.gauge("g", [&] { return g; });
+    EXPECT_EQ(hub.channelCount(), 4u);
+    EXPECT_EQ(hub.interval(), 10u);
+
+    hub.beginSampling(0);
+    ctr = 25;
+    num = 3;
+    den = 4;
+    g = 1.5;
+    hub.tick(9); // before the boundary: no sample
+    EXPECT_EQ(hub.sampleCount(), 0u);
+    hub.tick(10);
+    ASSERT_EQ(hub.sampleCount(), 1u);
+
+    // counter = delta, rate = delta/dt, ratio = dNum/dDen, gauge =
+    // instantaneous; doubles render with the fixed %.6f format.
+    const std::string ts = hub.renderTimeSeries();
+    EXPECT_NE(ts.find("{\"cycle\": 10, \"v\": "
+                      "[25, 2.500000, 0.750000, 1.500000]}"),
+              std::string::npos)
+        << ts;
+
+    // Second interval: deltas re-base, a flat ratio denominator
+    // yields 0 instead of dividing by zero.
+    ctr = 30;
+    num = 9;
+    hub.tick(20);
+    EXPECT_NE(hub.renderTimeSeries().find(
+                  "{\"cycle\": 20, \"v\": "
+                  "[5, 0.500000, 0.000000, 1.500000]}"),
+              std::string::npos);
+}
+
+TEST(TelemetryHub, BufferCapsDropAndCount)
+{
+    std::uint64_t ctr = 0;
+    TelemetryHub hub(5, /*maxSamples=*/2, /*maxEvents=*/2);
+    hub.counter("c", [&] { return ctr; });
+    const int t = hub.track("x");
+
+    hub.beginSampling(0);
+    for (Cycle c = 5; c <= 20; c += 5)
+        hub.tick(c);
+    EXPECT_EQ(hub.sampleCount(), 2u);
+    EXPECT_EQ(hub.droppedSamples(), 2u);
+
+    for (int i = 0; i < 5; ++i)
+        hub.event(t, static_cast<Cycle>(i), "e");
+    EXPECT_EQ(hub.eventCount(), 2u);
+    EXPECT_EQ(hub.droppedEvents(), 3u);
+
+    // The footer reports the drops.
+    EXPECT_NE(hub.renderTimeSeries().find(
+                  "{\"samples\": 2, \"events\": 2, "
+                  "\"droppedSamples\": 2, \"droppedEvents\": 3}"),
+              std::string::npos);
+}
+
+TEST(TelemetryHub, ZeroIntervalRecordsEventsOnly)
+{
+    std::uint64_t ctr = 0;
+    TelemetryHub hub(0);
+    hub.counter("c", [&] { return ctr; });
+    const int t = hub.track("x");
+    hub.beginSampling(0); // no-op with interval 0
+    hub.tick(1000);
+    hub.event(t, 42, "decision", "{\"k\": 1}");
+    EXPECT_EQ(hub.sampleCount(), 0u);
+    EXPECT_EQ(hub.eventCount(), 1u);
+}
+
+TEST(TelemetryHub, TrackRegistrationDedupesByName)
+{
+    TelemetryHub hub(10);
+    const int a = hub.track("alloc");
+    const int b = hub.track("core0");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(hub.track("alloc"), a);
+    EXPECT_EQ(hub.track("core0"), b);
+}
+
+TEST(TelemetryHub, RenderFormats)
+{
+    std::uint64_t ctr = 0;
+    TelemetryHub hub(100);
+    hub.counter("squashes", [&] { return ctr; });
+    const int t = hub.track("core0");
+    hub.beginSampling(0);
+    hub.event(t, 7, "migrate", "{\"thread\": 3}");
+
+    const std::string ts = hub.renderTimeSeries();
+    EXPECT_EQ(ts.find("{\"schema\": \"smtsim-ts-v1\", "
+                      "\"interval\": 100, \"channels\": "
+                      "[{\"name\": \"squashes\", "
+                      "\"kind\": \"counter\"}]}\n"),
+              0u)
+        << ts;
+
+    const std::string tr = hub.renderChromeTrace();
+    // Track named through an "M" metadata record...
+    EXPECT_NE(tr.find("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                      "\"pid\": 0, \"tid\": 0, "
+                      "\"args\": {\"name\": \"core0\"}}"),
+              std::string::npos)
+        << tr;
+    // ...and the event is an instant with verbatim args.
+    EXPECT_NE(tr.find("{\"name\": \"migrate\", \"ph\": \"i\", "
+                      "\"s\": \"t\", \"ts\": 7, \"pid\": 0, "
+                      "\"tid\": 0, \"args\": {\"thread\": 3}}"),
+              std::string::npos)
+        << tr;
+}
+
+// ---------------------------------------------------------------
+// zero perturbation + cross-worker-count determinism
+// ---------------------------------------------------------------
+
+SimConfig
+telemetryChipConfig(int chipJobs)
+{
+    SimConfig cfg;
+    cfg.soc.numCores = 2;
+    cfg.soc.contextsPerCore = 2;
+    cfg.soc.allocator = AllocatorKind::Symbiosis;
+    cfg.soc.epochCycles = 700;
+    cfg.soc.drainTimeout = 400;
+    cfg.soc.llcArbiter = "chip-dcra";
+    cfg.soc.chipJobs = chipJobs;
+    return cfg;
+}
+
+const std::vector<std::string> &
+chipBenches()
+{
+    static const std::vector<std::string> b = {"mcf", "gzip", "art",
+                                               "crafty"};
+    return b;
+}
+
+TEST(TelemetrySim, AttachingAHubPerturbsNothing)
+{
+    const std::vector<std::string> benches = {"gzip", "mcf"};
+    SimConfig cfg;
+    Simulator bare(cfg, benches, PolicyKind::Dcra);
+    const SimResult a = bare.run(3000, 2'000'000);
+
+    TelemetryHub hub(500);
+    Simulator traced(cfg, benches, PolicyKind::Dcra);
+    traced.setTelemetry(&hub);
+    const SimResult b = traced.run(3000, 2'000'000);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        EXPECT_EQ(a.threads[t].committed, b.threads[t].committed);
+        EXPECT_DOUBLE_EQ(a.threads[t].ipc, b.threads[t].ipc);
+    }
+    EXPECT_GT(hub.sampleCount(), 0u);
+}
+
+TEST(TelemetrySim, ChipHubPerturbsNothing)
+{
+    ChipSimulator bare(telemetryChipConfig(1), chipBenches(),
+                       PolicyKind::Dcra);
+    const SimResult a = bare.run(3000, 2'000'000);
+
+    TelemetryHub hub(500);
+    ChipSimulator traced(telemetryChipConfig(1), chipBenches(),
+                         PolicyKind::Dcra);
+    traced.setTelemetry(&hub);
+    const SimResult b = traced.run(3000, 2'000'000);
+
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.coreCommitHashes, b.coreCommitHashes);
+    for (std::size_t t = 0; t < a.threads.size(); ++t)
+        EXPECT_EQ(a.threads[t].committed, b.threads[t].committed);
+    EXPECT_GT(hub.sampleCount(), 0u);
+    EXPECT_GT(hub.eventCount(), 0u);
+}
+
+TEST(TelemetrySim, ChipTelemetryByteIdenticalAcrossWorkers)
+{
+    auto capture = [](int chipJobs) {
+        TelemetryHub hub(500);
+        ChipSimulator chip(telemetryChipConfig(chipJobs),
+                           chipBenches(), PolicyKind::Dcra);
+        chip.setTelemetry(&hub);
+        (void)chip.run(3000, 2'000'000);
+        return std::make_pair(hub.renderTimeSeries(),
+                              hub.renderChromeTrace());
+    };
+    const auto serial = capture(1);
+    const auto parallel = capture(2);
+    EXPECT_EQ(serial.first, parallel.first);
+    EXPECT_EQ(serial.second, parallel.second);
+    // The run is long enough to carry real content in both files.
+    EXPECT_NE(serial.first.find("\"cycle\": "), std::string::npos);
+    EXPECT_NE(serial.second.find("\"ph\": \"i\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// sweep integration: v2 schema, cross---jobs bytes, v1 pin
+// ---------------------------------------------------------------
+
+SweepSpec
+smallSweep()
+{
+    SweepSpec spec;
+    spec.name = "telemetry-test";
+    spec.commits = 1500;
+    spec.warmup = 300;
+    spec.computeHmean = false;
+    spec.workloads = {adHocWorkload({"gzip", "mcf"})};
+    spec.policies = {PolicyKind::Icount, PolicyKind::Dcra};
+    return spec;
+}
+
+TEST(TelemetrySweep, V2JsonByteIdenticalAcrossJobs)
+{
+    char tmpl[] = "/tmp/smtsim-telemetry-XXXXXX";
+    char *dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+
+    auto runSweep = [&](int jobs) {
+        SweepSpec spec = smallSweep();
+        spec.telemetry.tracePrefix = std::string(dir) + "/t";
+        spec.telemetry.statsInterval = 250;
+        SweepRunner runner(std::move(spec), jobs);
+        return JsonSink().render(runner.run());
+    };
+    const std::string serial = runSweep(1);
+    const std::string parallel = runSweep(2);
+    EXPECT_EQ(serial, parallel);
+
+    // Telemetry upgrades the document to v2 with provenance and
+    // per-run sidecar references named by the deterministic job
+    // index.
+    EXPECT_NE(serial.find("\"schema\": \"smtsim-sweep-v2\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"provenance\": "), std::string::npos);
+    EXPECT_NE(serial.find("\"gitDescribe\": "), std::string::npos);
+    EXPECT_NE(serial.find("t.job0.ts.ndjson"), std::string::npos);
+    EXPECT_NE(serial.find("t.job1.trace.json"), std::string::npos);
+}
+
+TEST(TelemetrySweep, OffKeepsTheV1Bytes)
+{
+    SweepRunner runner(smallSweep(), 1);
+    const std::string json = JsonSink().render(runner.run());
+    EXPECT_NE(json.find("\"schema\": \"smtsim-sweep-v1\""),
+              std::string::npos);
+    EXPECT_EQ(json.find("smtsim-sweep-v2"), std::string::npos);
+    EXPECT_EQ(json.find("\"provenance\""), std::string::npos);
+    EXPECT_EQ(json.find("\"telemetry\""), std::string::npos);
+}
+
+} // anonymous namespace

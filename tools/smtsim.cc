@@ -42,6 +42,7 @@
 #include "sim/simulator.hh"
 #include "sim/workload.hh"
 #include "soc/chip.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/bench_profile.hh"
 
 namespace {
@@ -83,6 +84,12 @@ usage()
         "                       cores (1 = serial, 0 = one per host\n"
         "                       thread); results are byte-identical\n"
         "                       for every value\n"
+        "  --trace-out PREFIX   record telemetry, writing\n"
+        "                       PREFIX.job0.ts.ndjson (time series)\n"
+        "                       and PREFIX.job0.trace.json (Chrome\n"
+        "                       trace, loadable in Perfetto)\n"
+        "  --stats-interval N   cycles between telemetry samples\n"
+        "                       (default 10000; needs --trace-out)\n"
         "  --json               emit the sweep JSON schema instead\n"
         "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
@@ -124,6 +131,13 @@ usage()
         "  --jobs N             worker threads (default: all host\n"
         "                       cores); results are identical for\n"
         "                       every N\n"
+        "  --trace-out PREFIX   per-job telemetry sidecar files\n"
+        "                       (PREFIX.job<i>.ts.ndjson and\n"
+        "                       PREFIX.job<i>.trace.json, named by\n"
+        "                       the deterministic job order); bumps\n"
+        "                       the JSON schema to smtsim-sweep-v2\n"
+        "  --stats-interval N   cycles between telemetry samples\n"
+        "                       (default 10000; needs --trace-out)\n"
         "  --format F           table | csv | json (default table)\n"
         "  --output FILE        write to FILE instead of stdout\n",
         maxThreads);
@@ -380,6 +394,7 @@ sweepMain(int argc, char **argv)
     std::string format = "table";
     std::string outPath;
     int jobs = 0;
+    std::uint64_t statsInterval = 0;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -526,6 +541,15 @@ sweepMain(int argc, char **argv)
                 std::fprintf(stderr, "error: --jobs wants N >= 1\n");
                 return 1;
             }
+        } else if (arg == "--trace-out") {
+            spec.telemetry.tracePrefix = next();
+        } else if (arg == "--stats-interval") {
+            statsInterval = std::strtoull(next(), nullptr, 10);
+            if (statsInterval < 1) {
+                std::fprintf(stderr,
+                             "error: --stats-interval wants N >= 1\n");
+                return 1;
+            }
         } else if (arg == "--format") {
             format = next();
         } else if (arg == "--output") {
@@ -540,6 +564,15 @@ sweepMain(int argc, char **argv)
             return 1;
         }
     }
+
+    if (statsInterval > 0 && spec.telemetry.tracePrefix.empty()) {
+        std::fprintf(stderr, "error: --stats-interval needs "
+                     "--trace-out (nowhere to write samples)\n");
+        return 1;
+    }
+    if (spec.telemetry.enabled())
+        spec.telemetry.statsInterval =
+            statsInterval ? statsInterval : 10'000;
 
     if (spec.workloads.empty()) {
         std::fprintf(stderr,
@@ -683,6 +716,8 @@ main(int argc, char **argv)
     std::uint64_t commits = 100'000;
     std::uint64_t warmup = 10'000;
     bool jsonOut = false;
+    std::string traceOut;
+    std::uint64_t statsInterval = 0;
     SimConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -761,6 +796,15 @@ main(int argc, char **argv)
                              "(0 = one per host thread)\n");
                 return 1;
             }
+        } else if (arg == "--trace-out") {
+            traceOut = next();
+        } else if (arg == "--stats-interval") {
+            statsInterval = std::strtoull(next(), nullptr, 10);
+            if (statsInterval < 1) {
+                std::fprintf(stderr,
+                             "error: --stats-interval wants N >= 1\n");
+                return 1;
+            }
         } else if (arg == "--json") {
             jsonOut = true;
         } else if (arg == "--list-benchmarks") {
@@ -809,9 +853,17 @@ main(int argc, char **argv)
     if (!validateBenches(workload, shape))
         return 1;
 
+    if (statsInterval > 0 && traceOut.empty()) {
+        std::fprintf(stderr, "error: --stats-interval needs "
+                     "--trace-out (nowhere to write samples)\n");
+        return 1;
+    }
+    const Cycle interval = statsInterval ? statsInterval : 10'000;
+
     if (jsonOut) {
         // A single run is a one-job sweep; the runner gives it the
-        // exact same JSON schema a sweep emits.
+        // exact same JSON schema a sweep emits (telemetry included:
+        // the sidecar files are PREFIX.job0.*).
         SweepSpec spec;
         spec.name = "cli-run";
         spec.base = cfg;
@@ -821,18 +873,39 @@ main(int argc, char **argv)
         spec.computeHmean = false;
         spec.workloads = {adHocWorkload(workload)};
         spec.policies = {policy};
+        if (!traceOut.empty()) {
+            spec.telemetry.tracePrefix = traceOut;
+            spec.telemetry.statsInterval = interval;
+        }
         SweepRunner runner(std::move(spec), 1);
         const SweepResults results = runner.run();
         return emitOutput(JsonSink().render(results), "");
     }
 
+    std::unique_ptr<TelemetryHub> hub;
+    if (!traceOut.empty())
+        hub = std::make_unique<TelemetryHub>(interval);
+
     SimResult r;
     if (cfg.soc.numCores > 1) {
         ChipSimulator chip(cfg, workload, policy);
+        if (hub)
+            chip.setTelemetry(hub.get());
         r = chip.run(commits, 100'000'000, warmup);
     } else {
         Simulator sim(cfg, workload, policy);
+        if (hub)
+            sim.setTelemetry(hub.get());
         r = sim.run(commits, 100'000'000, warmup);
+    }
+    if (hub) {
+        if (!writeTelemetryFiles(*hub,
+                                 telemetryFileBase(traceOut, 0)))
+            return 1;
+        std::printf("telemetry: %zu samples, %zu events -> "
+                    "%s.job0.{ts.ndjson,trace.json}\n",
+                    hub->sampleCount(), hub->eventCount(),
+                    traceOut.c_str());
     }
 
     std::printf("policy=%s cycles=%llu throughput=%.3f mlp=%.2f\n",
