@@ -69,12 +69,17 @@ BaselineCache::ipc(const SimConfig &cfg, const std::string &bench,
             promise.set_value(
                 compute(cfg, bench, commits, warmup, maxCycles));
         } catch (...) {
-            // Propagate the real error to concurrent waiters and
-            // drop the entry so a later call can retry instead of
-            // seeing this key poisoned forever.
+            // Drop the entry BEFORE publishing the error: once
+            // set_exception runs, waiters wake and may retry
+            // immediately — if the poisoned entry were still in the
+            // map they would join the dead future instead of
+            // recomputing. Evict first, then propagate the real
+            // error to the waiters already attached.
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                entries.erase(key);
+            }
             promise.set_exception(std::current_exception());
-            std::lock_guard<std::mutex> lock(mu);
-            entries.erase(key);
         }
     }
     return fut.get();

@@ -95,14 +95,22 @@ TableSink::render(const SweepResults &res) const
             joinBenches(r.job.workload, '+'),
             policyKindName(r.job.policy),
             r.job.configLabel.empty() ? "-" : r.job.configLabel,
-            fmtU64(r.summary.raw.cycles),
-            TextTable::fmt(r.summary.throughput, 3),
+            r.failed ? "FAILED" : fmtU64(r.summary.raw.cycles),
+            r.failed ? "-" : TextTable::fmt(r.summary.throughput, 3),
         };
         if (hmean)
-            row.push_back(TextTable::fmt(r.summary.hmean, 3));
+            row.push_back(r.failed
+                              ? "-"
+                              : TextTable::fmt(r.summary.hmean, 3));
         t.row(std::move(row));
     }
-    return t.str();
+    std::string out = t.str();
+    if (!res.failures.empty()) {
+        out += "# " + std::to_string(res.failures.size()) +
+            " failed job(s); see the sweep JSON failures block or "
+            "re-run with --resume\n";
+    }
+    return out;
 }
 
 std::string
@@ -187,6 +195,11 @@ JsonSink::render(const SweepResults &res) const
         const SimResult &raw = r.summary.raw;
         out += "    {\"workload\": \"" +
             jsonEscape(r.job.workload.id) + "\"";
+        if (r.failed) {
+            // Only present on failure, so clean sweeps keep their
+            // exact schema v1/v2 bytes.
+            out += ", \"failed\": true";
+        }
         out += ", \"type\": \"";
         out += workloadTypeName(r.job.workload.type);
         out += "\"";
@@ -277,8 +290,47 @@ JsonSink::render(const SweepResults &res) const
         out += "     ]}";
         out += i + 1 < res.results.size() ? ",\n" : "\n";
     }
-    out += "  ]\n";
-    out += "}\n";
+    out += "  ]";
+    // Fault-tolerance blocks appear only when non-empty: a clean
+    // sweep's document stays byte-identical to the pinned schema.
+    if (!res.failures.empty()) {
+        out += ",\n  \"failures\": [\n";
+        for (std::size_t i = 0; i < res.failures.size(); ++i) {
+            const JobFailure &f = res.failures[i];
+            out += "    {\"job\": " + fmtU64(f.index);
+            out += ", \"key\": \"" + jsonEscape(f.key) + "\"";
+            out += ", \"cause\": \"" + jsonEscape(f.cause) + "\"";
+            out += ", \"attempts\": " + std::to_string(f.attempts);
+            if (f.termSignal)
+                out += ", \"signal\": " +
+                    std::to_string(f.termSignal);
+            if (f.exitCode)
+                out +=
+                    ", \"exitCode\": " + std::to_string(f.exitCode);
+            out += "}";
+            out += i + 1 < res.failures.size() ? ",\n" : "\n";
+        }
+        out += "  ]";
+    }
+    std::size_t nRetried = 0;
+    for (const JobResult &r : res.results) {
+        if (!r.failed && r.attempts > 1)
+            ++nRetried;
+    }
+    if (nRetried) {
+        out += ",\n  \"retried\": [\n";
+        std::size_t emitted = 0;
+        for (const JobResult &r : res.results) {
+            if (r.failed || r.attempts <= 1)
+                continue;
+            out += "    {\"job\": " + fmtU64(r.job.index);
+            out += ", \"attempts\": " + std::to_string(r.attempts);
+            out += "}";
+            out += ++emitted < nRetried ? ",\n" : "\n";
+        }
+        out += "  ]";
+    }
+    out += "\n}\n";
     return out;
 }
 

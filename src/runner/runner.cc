@@ -1,12 +1,14 @@
 #include "runner/runner.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <mutex>
 #include <utility>
 
 #include "common/logging.hh"
 #include "runner/job_scheduler.hh"
-#include "sim/metrics.hh"
-#include "soc/chip.hh"
-#include "telemetry/telemetry.hh"
+#include "runner/journal.hh"
 
 namespace smt {
 
@@ -25,12 +27,65 @@ SweepResults::at(std::size_t configIdx, std::size_t policyIdx,
 }
 
 SweepRunner::SweepRunner(SweepSpec spec_, int jobs,
-                         std::shared_ptr<BaselineCache> baselines)
+                         std::shared_ptr<BaselineCache> baselines,
+                         RunnerOptions opts_)
     : spec(std::move(spec_)), nJobs(jobs),
       cache(baselines ? std::move(baselines)
-                      : std::make_shared<BaselineCache>())
+                      : std::make_shared<BaselineCache>()),
+      opts(std::move(opts_))
 {
 }
+
+namespace {
+
+/**
+ * Cooperative stop flag for SIGINT/SIGTERM. Only installed when the
+ * sweep opted into fault tolerance (journal or isolation) — a plain
+ * sweep keeps the default terminate-on-signal behaviour, preserving
+ * the zero-perturbation contract.
+ */
+std::atomic<int> g_stopFlag{0};
+
+extern "C" void
+sweepStopHandler(int)
+{
+    g_stopFlag.store(1, std::memory_order_relaxed);
+}
+
+/** RAII install/restore of the SIGINT/SIGTERM stop handlers. */
+class ScopedStopSignals
+{
+  public:
+    explicit ScopedStopSignals(bool enable) : active(enable)
+    {
+        if (!active)
+            return;
+        g_stopFlag.store(0, std::memory_order_relaxed);
+        struct sigaction sa;
+        sa.sa_handler = sweepStopHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART: poll/sleep must wake
+        sigaction(SIGINT, &sa, &oldInt);
+        sigaction(SIGTERM, &sa, &oldTerm);
+    }
+
+    ~ScopedStopSignals()
+    {
+        if (!active)
+            return;
+        sigaction(SIGINT, &oldInt, nullptr);
+        sigaction(SIGTERM, &oldTerm, nullptr);
+    }
+
+    ScopedStopSignals(const ScopedStopSignals &) = delete;
+    ScopedStopSignals &operator=(const ScopedStopSignals &) = delete;
+
+  private:
+    bool active;
+    struct sigaction oldInt, oldTerm;
+};
+
+} // anonymous namespace
 
 SweepResults
 SweepRunner::run()
@@ -40,59 +95,127 @@ SweepRunner::run()
     SweepResults out;
     out.spec = spec;
     out.results.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out.results[i].job = jobs[i];
 
-    const JobScheduler sched(nJobs);
-    sched.run(jobs.size(), [&](std::size_t i) {
-        const SweepJob &job = jobs[i];
-        RunSummary s;
-        // One private hub per job, written to a file named by the
-        // deterministic job index: --jobs N changes neither content
-        // nor names. No hub exists when telemetry is off.
-        std::unique_ptr<TelemetryHub> hub;
-        if (spec.telemetry.enabled()) {
-            hub = std::make_unique<TelemetryHub>(
-                spec.telemetry.statsInterval);
-        }
-        if (job.config.soc.numCores > 1) {
-            // CMP grid point: the whole chip is one job, so host
-            // parallelism still never touches result determinism.
-            ChipSimulator chip(job.config, job.workload.benches,
-                               job.policy);
-            if (hub)
-                chip.setTelemetry(hub.get());
-            s.raw = chip.run(spec.commits, spec.maxCycles,
-                             spec.warmup);
-        } else {
-            Simulator sim(job.config, job.workload.benches,
-                          job.policy);
-            if (hub)
-                sim.setTelemetry(hub.get());
-            s.raw = sim.run(spec.commits, spec.maxCycles,
-                            spec.warmup);
-        }
-        if (hub) {
-            writeTelemetryFiles(
-                *hub, telemetryFileBase(spec.telemetry.tracePrefix,
-                                        job.index));
-        }
-        for (std::size_t t = 0; t < job.workload.benches.size();
-             ++t) {
-            s.multiIpc.push_back(s.raw.threads[t].ipc);
-            if (spec.computeHmean) {
-                s.singleIpc.push_back(
-                    cache->ipc(job.config, job.workload.benches[t],
-                               spec.commits, spec.warmup,
-                               spec.maxCycles));
+    const bool faultTolerant =
+        !opts.journalPath.empty() || opts.exec.isolate;
+
+    // Resume: replay completed jobs out of the journal, cross-checked
+    // against this expansion so a journal from a different sweep (or
+    // a reordered spec) is rejected instead of silently merged.
+    std::vector<bool> done(jobs.size(), false);
+    std::string specKey;
+    if (!opts.journalPath.empty())
+        specKey = sweepSpecKey(spec, jobs);
+    if (opts.resume) {
+        SMT_ASSERT(!opts.journalPath.empty(),
+                   "--resume without a journal path");
+        JournalReplay replay;
+        bool exists = false;
+        std::string err;
+        if (!readJournal(opts.journalPath, replay, exists, err))
+            fatal("%s", err.c_str());
+        if (exists) {
+            if (replay.specKey != specKey) {
+                fatal("journal '%s' was written by a different sweep "
+                      "(spec key %s, this sweep is %s); refusing to "
+                      "merge",
+                      opts.journalPath.c_str(),
+                      replay.specKey.c_str(), specKey.c_str());
             }
+            if (replay.jobCount != jobs.size()) {
+                fatal("journal '%s' covers %llu jobs but this sweep "
+                      "expands to %zu",
+                      opts.journalPath.c_str(),
+                      static_cast<unsigned long long>(
+                          replay.jobCount),
+                      jobs.size());
+            }
+            for (const auto &kv : replay.summaries) {
+                const std::size_t i = kv.first;
+                if (i >= jobs.size()) {
+                    fatal("journal '%s': job index %zu out of range",
+                          opts.journalPath.c_str(), i);
+                }
+                if (replay.keys[i] != sweepJobKey(jobs[i])) {
+                    fatal("journal '%s': job %zu key '%s' does not "
+                          "match this sweep's '%s'",
+                          opts.journalPath.c_str(), i,
+                          replay.keys[i].c_str(),
+                          sweepJobKey(jobs[i]).c_str());
+                }
+                out.results[i].summary = kv.second;
+                done[i] = true;
+            }
+            if (!replay.summaries.empty()) {
+                inform("resume: replayed %zu of %zu jobs from '%s'",
+                       replay.summaries.size(), jobs.size(),
+                       opts.journalPath.c_str());
+            }
+        } else {
+            warn("resume: journal '%s' does not exist yet; running "
+                 "the full sweep",
+                 opts.journalPath.c_str());
         }
-        s.throughput = s.raw.throughput();
-        if (spec.computeHmean)
-            s.hmean = hmeanSpeedup(s.multiIpc, s.singleIpc);
+    }
+
+    JournalWriter journal;
+    if (!opts.journalPath.empty()) {
+        journal.open(opts.journalPath, specKey, jobs.size(),
+                     /*truncate=*/!opts.resume);
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!done[i])
+            pending.push_back(i);
+    }
+
+    ScopedStopSignals signals(faultTolerant);
+    const std::atomic<int> *stop =
+        faultTolerant ? &g_stopFlag : nullptr;
+
+    std::mutex failMu;
+    const JobScheduler sched(nJobs);
+    sched.run(pending.size(), [&](std::size_t k) {
+        const std::size_t i = pending[k];
+        const SweepJob &job = jobs[i];
+        if (stop && stop->load(std::memory_order_relaxed))
+            return; // interrupted: leave the job for --resume
+        const ExecOutcome o = executeJob(spec, job, *cache,
+                                         opts.exec, opts.faults,
+                                         stop);
         // Each job writes only its own pre-sized slot, so no other
         // synchronisation is needed and the output order does not
         // depend on scheduling.
-        out.results[i] = JobResult{job, std::move(s)};
+        out.results[i].attempts = o.attempts;
+        if (o.ok) {
+            out.results[i].summary = o.summary;
+            journal.append(i, sweepJobKey(job), o.summary);
+            return;
+        }
+        if (o.cause == "interrupted")
+            return; // not a failure: the job never got to run
+        out.results[i].failed = true;
+        JobFailure f;
+        f.index = i;
+        f.key = sweepJobKey(job);
+        f.cause = o.cause;
+        f.attempts = o.attempts;
+        f.termSignal = o.termSignal;
+        f.exitCode = o.exitCode;
+        std::lock_guard<std::mutex> lock(failMu);
+        out.failures.push_back(std::move(f));
     });
+
+    if (stop && stop->load(std::memory_order_relaxed))
+        out.interrupted = true;
+    std::sort(out.failures.begin(), out.failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.index < b.index;
+              });
     return out;
 }
 

@@ -5,6 +5,12 @@
  * baselines through a BaselineCache, and returns results in the
  * spec's deterministic job order — a parallel run is bit-identical
  * to a serial one.
+ *
+ * RunnerOptions layers fault tolerance on top: a durable job journal
+ * with --resume replay, forked per-job isolation with a kill timeout
+ * and deterministic retry backoff, and SIGINT/SIGTERM handling that
+ * leaves the journal resumable. All of it is opt-in; the default path
+ * is byte- and perf-identical to a build without the feature.
  */
 
 #ifndef DCRA_SMT_RUNNER_RUNNER_HH
@@ -12,9 +18,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "runner/baseline_cache.hh"
+#include "runner/job_exec.hh"
 #include "runner/sweep_spec.hh"
 #include "sim/experiment.hh"
 
@@ -25,6 +33,24 @@ struct JobResult
 {
     SweepJob job;
     RunSummary summary;
+    /** Attempts spent this run (1 = first try; replayed jobs keep 1
+     *  so resumed output matches an uninterrupted run). */
+    int attempts = 1;
+    /** True when every attempt failed; summary is then empty. */
+    bool failed = false;
+};
+
+/** A job whose every attempt failed (isolation mode). */
+struct JobFailure
+{
+    std::size_t index = 0;
+    std::string key; //!< "workload|policy|configLabel"
+    /** "crash" | "timeout" | "nonzero-exit" | "exception" |
+     *  "bad-result" | "interrupted". */
+    std::string cause;
+    int attempts = 0;
+    int termSignal = 0; //!< signal that killed the child (crash)
+    int exitCode = 0;   //!< child exit status (nonzero-exit)
 };
 
 /** Outcome of one whole sweep, ordered by job index. */
@@ -32,10 +58,28 @@ struct SweepResults
 {
     SweepSpec spec;
     std::vector<JobResult> results;
+    /** Jobs that exhausted their attempts, ordered by index. */
+    std::vector<JobFailure> failures;
+    /** A SIGINT/SIGTERM cut the sweep short (journal left valid). */
+    bool interrupted = false;
 
     /** Result of the (config, policy, workload) grid point. */
     const JobResult &at(std::size_t configIdx, std::size_t policyIdx,
                         std::size_t workloadIdx) const;
+};
+
+/** Fault-tolerance knobs; defaults reproduce the classic runner. */
+struct RunnerOptions
+{
+    /** NDJSON job journal path ("" = no journal). */
+    std::string journalPath;
+    /** Replay completed jobs from the journal before running. */
+    bool resume = false;
+    /** Per-job execution: isolation, timeout, retries, backoff. */
+    ExecOptions exec;
+    /** Injected faults (defaulted from SMT_FAULT_INJECT by the CLI
+     *  via FaultPlan::fromEnv()). */
+    FaultPlan faults;
 };
 
 class SweepRunner
@@ -45,10 +89,12 @@ class SweepRunner
      * @param spec the grid to run.
      * @param jobs worker threads; 0 = one per host hardware thread.
      * @param baselines shared baseline cache; nullptr = private one.
+     * @param opts fault-tolerance options (defaults = none).
      */
     explicit SweepRunner(
         SweepSpec spec, int jobs = 0,
-        std::shared_ptr<BaselineCache> baselines = nullptr);
+        std::shared_ptr<BaselineCache> baselines = nullptr,
+        RunnerOptions opts = RunnerOptions());
 
     /** Run every job; blocks until the sweep completes. */
     SweepResults run();
@@ -60,6 +106,7 @@ class SweepRunner
     SweepSpec spec;
     int nJobs;
     std::shared_ptr<BaselineCache> cache;
+    RunnerOptions opts;
 };
 
 /**

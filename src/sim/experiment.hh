@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "policy/factory.hh"
 #include "runner/baseline_cache.hh"
 #include "sim/simulator.hh"
@@ -39,6 +40,29 @@ struct RunSummary
     std::vector<double> singleIpc;
     SimResult raw;
 };
+
+/**
+ * @name RunSummary (de)serialization
+ *
+ * One-line JSON for the sweep journal and the isolated-job result
+ * pipe. Doubles are written with fmtDoubleExact, so a serialize ->
+ * parse round trip reproduces every field bit for bit and output
+ * rendered from a replayed summary is byte-identical to output
+ * rendered from the live run.
+ */
+/** @{ */
+
+/** Serialize to a single-line JSON object (no trailing newline). */
+std::string runSummaryToJson(const RunSummary &s);
+
+/**
+ * Rebuild a RunSummary from a parsed runSummaryToJson document.
+ * Returns false (leaving @p out partially filled) on a document that
+ * is not a summary object.
+ */
+bool runSummaryFromJson(const JsonValue &v, RunSummary &out);
+
+/** @} */
 
 /**
  * Shared context for a family of runs under one hardware

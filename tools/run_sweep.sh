@@ -7,6 +7,23 @@
 #   tools/run_sweep.sh --benches gzip+mcf --mem-latency 100,300 \
 #       --format json --output sweep.json
 #
+# Long sweeps should journal their progress so a crash or Ctrl-C
+# costs only the in-flight jobs. Run with --journal, and after an
+# interruption re-run the SAME command plus --resume: completed jobs
+# are replayed from the journal and the merged output is
+# byte-identical to an uninterrupted run.
+#
+#   tools/run_sweep.sh --cells MEM2,MIX2 --policies ICOUNT,DCRA \
+#       --journal sweep.journal --format json --output sweep.json
+#   # ... Ctrl-C, crash, or SIGKILL ...
+#   tools/run_sweep.sh --cells MEM2,MIX2 --policies ICOUNT,DCRA \
+#       --journal sweep.journal --resume \
+#       --format json --output sweep.json
+#
+# Add --isolate-jobs (optionally with --job-timeout/--job-retries)
+# to contain a crashing or hanging job to a child process instead of
+# losing the sweep.
+#
 # See `smtsim --help` for the full sweep flag list.
 set -eu
 

@@ -25,6 +25,7 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +34,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "alloc/chip_arbiters.hh"
 #include "common/bits.hh"
@@ -139,7 +142,30 @@ usage()
         "  --stats-interval N   cycles between telemetry samples\n"
         "                       (default 10000; needs --trace-out)\n"
         "  --format F           table | csv | json (default table)\n"
-        "  --output FILE        write to FILE instead of stdout\n",
+        "  --output FILE        write to FILE instead of stdout\n"
+        "\n"
+        "sweep fault tolerance (see README 'Fault tolerance'):\n"
+        "  --journal FILE       append one durable NDJSON record per\n"
+        "                       completed job (fsync'd); a fresh\n"
+        "                       sweep truncates FILE first\n"
+        "  --resume             replay completed jobs from --journal\n"
+        "                       and run only the rest; merged output\n"
+        "                       is byte-identical to an\n"
+        "                       uninterrupted run\n"
+        "  --isolate-jobs       fork each job into a child process\n"
+        "                       so a crash loses one job, not the\n"
+        "                       sweep\n"
+        "  --job-timeout SEC    kill an isolated job after SEC\n"
+        "                       seconds (needs --isolate-jobs)\n"
+        "  --job-retries N      re-run a failed job up to N extra\n"
+        "                       times with deterministic backoff\n"
+        "  --job-backoff MS     base retry backoff in milliseconds\n"
+        "                       (attempt k waits MS << (k-1);\n"
+        "                       default 50)\n"
+        "\n"
+        "sweep exit codes: 0 success, 1 usage/config error, 3 sweep\n"
+        "completed but jobs failed (see the JSON failures block),\n"
+        "130 interrupted by SIGINT/SIGTERM (journal stays resumable)\n",
         maxThreads);
 }
 
@@ -353,6 +379,32 @@ parseU64List(const std::string &s, std::vector<std::uint64_t> &out)
     return !out.empty();
 }
 
+/**
+ * Fail fast on an unwritable output path: probe with fopen(path,
+ * "a") before the (possibly hours-long) sweep starts, removing the
+ * probe file again when it did not exist before. Reports to stderr
+ * and returns false on an unwritable path.
+ */
+bool
+probeWritable(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return true;
+    struct stat st;
+    const bool existed = ::stat(path.c_str(), &st) == 0;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        std::fprintf(stderr,
+                     "error: %s path '%s' is not writable: %s\n",
+                     flag, path.c_str(), std::strerror(errno));
+        return false;
+    }
+    std::fclose(f);
+    if (!existed)
+        std::remove(path.c_str());
+    return true;
+}
+
 /** Emit to --output FILE or stdout. */
 int
 emitOutput(const std::string &text, const std::string &path)
@@ -395,6 +447,7 @@ sweepMain(int argc, char **argv)
     std::string outPath;
     int jobs = 0;
     std::uint64_t statsInterval = 0;
+    RunnerOptions ropts;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -554,6 +607,38 @@ sweepMain(int argc, char **argv)
             format = next();
         } else if (arg == "--output") {
             outPath = next();
+        } else if (arg == "--journal") {
+            ropts.journalPath = next();
+        } else if (arg == "--resume") {
+            ropts.resume = true;
+        } else if (arg == "--isolate-jobs") {
+            ropts.exec.isolate = true;
+        } else if (arg == "--job-timeout") {
+            ropts.exec.timeoutSec =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (ropts.exec.timeoutSec < 1) {
+                std::fprintf(stderr,
+                             "error: --job-timeout wants N >= 1 "
+                             "seconds\n");
+                return 1;
+            }
+        } else if (arg == "--job-retries") {
+            ropts.exec.retries =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (ropts.exec.retries < 0) {
+                std::fprintf(stderr,
+                             "error: --job-retries wants N >= 0\n");
+                return 1;
+            }
+        } else if (arg == "--job-backoff") {
+            ropts.exec.backoffMs =
+                static_cast<int>(std::strtol(next(), nullptr, 10));
+            if (ropts.exec.backoffMs < 0) {
+                std::fprintf(stderr,
+                             "error: --job-backoff wants N >= 0 "
+                             "milliseconds\n");
+                return 1;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -564,6 +649,19 @@ sweepMain(int argc, char **argv)
             return 1;
         }
     }
+
+    if (ropts.resume && ropts.journalPath.empty()) {
+        std::fprintf(stderr, "error: --resume needs --journal (the "
+                     "file to replay)\n");
+        return 1;
+    }
+    if (ropts.exec.timeoutSec > 0 && !ropts.exec.isolate) {
+        std::fprintf(stderr, "error: --job-timeout needs "
+                     "--isolate-jobs (only a child process can be "
+                     "killed without losing the sweep)\n");
+        return 1;
+    }
+    ropts.faults = FaultPlan::fromEnv();
 
     if (statsInterval > 0 && spec.telemetry.tracePrefix.empty()) {
         std::fprintf(stderr, "error: --stats-interval needs "
@@ -698,9 +796,37 @@ sweepMain(int argc, char **argv)
      }
     }
 
-    SweepRunner runner(std::move(spec), jobs);
+    // Fail fast on unwritable destinations before hours of
+    // simulation, not after.
+    if (!probeWritable(outPath, "--output") ||
+        !probeWritable(ropts.journalPath, "--journal"))
+        return 1;
+    if (spec.telemetry.enabled() &&
+        !probeWritable(telemetryFileBase(spec.telemetry.tracePrefix,
+                                         0) + ".ts.ndjson",
+                       "--trace-out"))
+        return 1;
+
+    SweepRunner runner(std::move(spec), jobs, nullptr,
+                       std::move(ropts));
     const SweepResults results = runner.run();
-    return emitOutput(sink->render(results), outPath);
+    if (results.interrupted) {
+        std::fprintf(stderr,
+                     "sweep interrupted; completed jobs are in the "
+                     "journal — re-run with --resume to finish\n");
+        return 130;
+    }
+    const int rc = emitOutput(sink->render(results), outPath);
+    if (rc)
+        return rc;
+    if (!results.failures.empty()) {
+        std::fprintf(stderr,
+                     "sweep completed with %zu failed job(s); see "
+                     "the failures block (--format json)\n",
+                     results.failures.size());
+        return 3;
+    }
+    return 0;
 }
 
 } // anonymous namespace
@@ -859,6 +985,10 @@ main(int argc, char **argv)
         return 1;
     }
     const Cycle interval = statsInterval ? statsInterval : 10'000;
+    if (!traceOut.empty() &&
+        !probeWritable(telemetryFileBase(traceOut, 0) + ".ts.ndjson",
+                       "--trace-out"))
+        return 1;
 
     if (jsonOut) {
         // A single run is a one-job sweep; the runner gives it the
