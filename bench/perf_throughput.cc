@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "common/version.hh"
+#include "prof/host_info.hh"
 #include "sim/simulator.hh"
 #include "soc/chip.hh"
 
@@ -168,12 +170,15 @@ measure(const Mix &mix, PolicyKind policy, std::uint64_t commits,
     return rec;
 }
 
-/** Render the flat (single-build) report. */
+/** Render the flat (single-build) report. @p hostJson is the host
+ *  block captured at program start (CPU count, model, load average)
+ *  — perf numbers are meaningless without knowing how loaded the
+ *  host already was. */
 std::string
 renderFlat(const std::vector<RunRecord> &runs,
            const std::string &label, bool quick,
-           std::uint64_t commits, double agg4t, double agg2c4t,
-           double agg2c4tDcra)
+           std::uint64_t commits, const std::string &hostJson,
+           double agg4t, double agg2c4t, double agg2c4tDcra)
 {
     std::string out;
     char buf[512];
@@ -184,6 +189,9 @@ renderFlat(const std::vector<RunRecord> &runs,
     add("{\n  \"schema\": \"smtsim-perf-v1\",\n");
     add("  \"label\": \"%s\",\n", label.c_str());
     add("  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+    add("  \"build_type\": \"%s\",\n", SMT_BUILD_TYPE);
+    add("  \"git_describe\": \"%s\",\n", SMT_GIT_DESCRIBE);
+    add("  \"host\": %s,\n", hostJson.c_str());
     add("  \"commits\": %llu,\n",
         static_cast<unsigned long long>(commits));
     add("  \"runs\": [\n");
@@ -283,11 +291,18 @@ main(int argc, char **argv)
             outPath = next();
         } else if (arg == "--baseline") {
             baselinePath = next();
+        } else if (arg == "--build-info") {
+            // Machine-checkable build identification, used by
+            // tools/run_perf.sh to refuse non-Release binaries.
+            std::printf("build_type=%s\ngit_describe=%s\n",
+                        SMT_BUILD_TYPE, SMT_GIT_DESCRIBE);
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: bench_perf_throughput [--quick] "
                 "[--commits N] [--reps N] [--label S]\n"
-                "       [--output FILE] [--baseline FILE]\n");
+                "       [--output FILE] [--baseline FILE] "
+                "[--build-info]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
@@ -297,6 +312,12 @@ main(int argc, char **argv)
     }
     if (commits == 0)
         commits = quick ? 8'000 : 60'000;
+
+    // Snapshot the host BEFORE the runs: the load average at start
+    // is what qualifies the numbers, not the load the benchmark
+    // itself generated.
+    const std::string hostJson =
+        hostInfoJson(readHostInfo(), /*withLoadavg=*/true);
 
     std::vector<RunRecord> runs;
     std::uint64_t cycles4t = 0, cycles2c = 0, cycles2cDcra = 0;
@@ -344,8 +365,9 @@ main(int argc, char **argv)
         ? static_cast<double>(cycles2cDcra) / wall2cDcra / 1e6
         : 0.0;
 
-    const std::string flat = renderFlat(runs, label, quick, commits,
-                                        agg4t, agg2c4t, agg2c4tDcra);
+    const std::string flat =
+        renderFlat(runs, label, quick, commits, hostJson, agg4t,
+                   agg2c4t, agg2c4tDcra);
 
     std::string doc;
     if (!baselinePath.empty()) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
 #include "telemetry/telemetry.hh"
 
 namespace smt {
@@ -308,6 +309,12 @@ Pipeline::tick()
         rrQueue = 0;
     pstats.cycles = cycle - statsStartCycle;
 
+    if (hprof && ++hprofTick >= hprofEvery) {
+        hprofTick = 0;
+        tickStagesProfiled();
+        return;
+    }
+
     mem.tick(cycle);
     policy.beginCycle(cycle);
 
@@ -317,6 +324,46 @@ Pipeline::tick()
     processFlushRequests();
     renameStage();
     fetchStage();
+}
+
+void
+Pipeline::setHostProfiler(HostProfiler *prof,
+                          const std::string &prefix)
+{
+    hprof = prof;
+    hprofTick = 0;
+    if (!prof) {
+        hprofEvery = 0;
+        return;
+    }
+    hprofEvery = prof->sampleEvery();
+    static const char *const names[HsStageCount] = {
+        "stage.mem",    "stage.policy", "stage.commit",
+        "stage.writeback", "stage.issue", "stage.flush",
+        "stage.rename", "stage.fetch"};
+    for (int i = 0; i < HsStageCount; ++i)
+        hsStage[i] = prof->scope(prefix + names[i]);
+}
+
+void
+Pipeline::tickStagesProfiled()
+{
+    // The same stage sequence as tick()'s tail, each stage timed.
+    // Kept as a separate body so the unprofiled path stays branch-
+    // free past the single hprof test.
+    auto timed = [this](int s, auto &&fn) {
+        const std::uint64_t t0 = hprof->nowNs();
+        fn();
+        hprof->add(hsStage[s], t0, hprof->nowNs());
+    };
+    timed(HsMem, [this] { mem.tick(cycle); });
+    timed(HsPolicy, [this] { policy.beginCycle(cycle); });
+    timed(HsCommit, [this] { commitStage(); });
+    timed(HsWriteback, [this] { writebackStage(); });
+    timed(HsIssue, [this] { issueStage(); });
+    timed(HsFlush, [this] { processFlushRequests(); });
+    timed(HsRename, [this] { renameStage(); });
+    timed(HsFetch, [this] { fetchStage(); });
 }
 
 // ---------------------------------------------------------------

@@ -34,6 +34,7 @@
 namespace smt {
 
 class TelemetryHub;
+class HostProfiler;
 
 /** Aggregate per-run pipeline statistics. */
 struct PipelineStats
@@ -140,6 +141,18 @@ class Pipeline
      */
     void registerTelemetry(TelemetryHub &hub,
                            const std::string &prefix);
+
+    /**
+     * Attach the host wall-clock profiler (--prof). Registers the
+     * per-stage scopes under @p prefix ("" single-core, "c0." per
+     * chip core); tick() then times its stages on 1 in
+     * prof->sampleEvery() ticks. Null detaches. Must be called
+     * before the run starts (scope registration is
+     * single-threaded); with no profiler attached tick() pays one
+     * pointer test and nothing else.
+     */
+    void setHostProfiler(HostProfiler *prof,
+                         const std::string &prefix);
 
     /** Run statistics. */
     const PipelineStats &stats() const { return pstats; }
@@ -285,6 +298,9 @@ class Pipeline
         ThreadID t;
     };
 
+    /** tick()'s stage sequence with each stage host-timed. */
+    void tickStagesProfiled();
+
     void commitStage();
     void writebackStage();
     void issueStage();
@@ -419,6 +435,26 @@ class Pipeline
     Cycle statsStartCycle = 0;
     InstSeqNum seqCounter = 0;
     PipelineStats pstats;
+
+    /** @name Host profiling (all null/zero unless --prof) */
+    /** @{ */
+    HostProfiler *hprof = nullptr;
+    std::uint64_t hprofEvery = 0;  //!< cached sampleEvery()
+    std::uint64_t hprofTick = 0;   //!< decimation counter
+    enum HsStage
+    {
+        HsMem,
+        HsPolicy,
+        HsCommit,
+        HsWriteback,
+        HsIssue,
+        HsFlush,
+        HsRename,
+        HsFetch,
+        HsStageCount
+    };
+    int hsStage[HsStageCount] = {};
+    /** @} */
 };
 
 } // namespace smt

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
 #include "telemetry/telemetry.hh"
 
 namespace smt {
@@ -197,10 +198,21 @@ SharedCache::advanceEpochs(Cycle now)
 {
     if (p.arbEpoch == 0 || now < nextEpochAt)
         return;
+    ProfScope ps(hprof, hsArbEpoch);
     while (now >= nextEpochAt)
         nextEpochAt += p.arbEpoch;
     arb->beginEpoch(++epochIdx, now);
     syncWayMasks(now);
+}
+
+void
+SharedCache::setHostProfiler(HostProfiler *prof)
+{
+    hprof = prof;
+    if (!prof)
+        return;
+    hsAccess = prof->scope("llc.access");
+    hsArbEpoch = prof->scope("llc.arbEpoch");
 }
 
 void
@@ -248,6 +260,9 @@ SharedCache::access(int core, Addr addr, Cycle now)
     // the exact serial order. No-op (one branch) in serial runs.
     if (gate)
         gate->enter(core);
+    // Timed from here (after the gate): gate waits belong to the
+    // wavefront scopes, the LLC scope covers only the real work.
+    ProfScope hps(hprof, hsAccess);
     advanceEpochs(now);
     ++sAcc[core];
 

@@ -50,6 +50,8 @@
 
 namespace smt {
 
+class HostProfiler;
+
 /** Geometry and timing of the shared LLC + bus. */
 struct SharedCacheParams
 {
@@ -191,6 +193,16 @@ class SharedCache
      */
     void attachTelemetry(TelemetryHub &hub);
 
+    /**
+     * Attach the host wall-clock profiler (--prof): times access()
+     * bodies (llc.access, started *after* the ordering gate so gate
+     * waits are accounted to the wavefront, not the LLC) and the
+     * arbitration-epoch boundary work (llc.arbEpoch). Accumulation
+     * is thread-safe (worker threads call access()); registration
+     * must happen before the run starts. Null detaches.
+     */
+    void setHostProfiler(HostProfiler *prof);
+
     /** Gate-order events recorded for a core (telemetry tests). */
     std::uint64_t
     gateFollows(int core) const
@@ -284,6 +296,13 @@ class SharedCache
     Cycle gateCycle = ~static_cast<Cycle>(0); //!< open timestamp
     int gateEntrants = 0;                 //!< cores seen this stamp
     std::vector<std::uint64_t> sGateFollow;
+    /** @} */
+
+    /** @name Host profiling (null unless --prof) */
+    /** @{ */
+    HostProfiler *hprof = nullptr;
+    int hsAccess = 0;   //!< llc.access scope
+    int hsArbEpoch = 0; //!< llc.arbEpoch scope
     /** @} */
 };
 

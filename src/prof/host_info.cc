@@ -1,0 +1,86 @@
+#include "prof/host_info.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/json.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cstdlib> // getloadavg
+#endif
+
+namespace smt {
+
+namespace {
+
+std::string
+cpuModelFromProcCpuinfo()
+{
+    std::FILE *f = std::fopen("/proc/cpuinfo", "r");
+    if (!f)
+        return "";
+    std::string model;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "model name", 10) != 0)
+            continue;
+        const char *colon = std::strchr(line, ':');
+        if (!colon)
+            continue;
+        ++colon;
+        while (*colon == ' ' || *colon == '\t')
+            ++colon;
+        model = colon;
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == '\r'))
+            model.pop_back();
+        break;
+    }
+    std::fclose(f);
+    return model;
+}
+
+} // anonymous namespace
+
+HostInfo
+readHostInfo()
+{
+    HostInfo info;
+    info.cpus =
+        static_cast<int>(std::thread::hardware_concurrency());
+    info.cpuModel = cpuModelFromProcCpuinfo();
+#if defined(__unix__) || defined(__APPLE__)
+    double la[3] = {0.0, 0.0, 0.0};
+    if (getloadavg(la, 3) == 3) {
+        info.haveLoadavg = true;
+        info.load1 = la[0];
+        info.load5 = la[1];
+        info.load15 = la[2];
+    }
+#endif
+    return info;
+}
+
+std::string
+hostInfoJson(const HostInfo &info, bool withLoadavg)
+{
+    std::string out = "{\"cpus\": ";
+    out += std::to_string(info.cpus);
+    out += ", \"cpuModel\": \"";
+    out += jsonEscape(info.cpuModel);
+    out += "\"";
+    if (withLoadavg && info.haveLoadavg) {
+        out += ", \"loadavg\": [";
+        out += fmtDouble(info.load1, 2);
+        out += ", ";
+        out += fmtDouble(info.load5, 2);
+        out += ", ";
+        out += fmtDouble(info.load15, 2);
+        out += "]";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace smt

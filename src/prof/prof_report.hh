@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Aggregator for smtsim-prof-v1 NDJSON sidecars (the `--prof`
+ * output): merges any number of per-job and runner profiles into a
+ * human-readable report — top scopes by host wall time, per-core
+ * wavefront gate-wait accounting, per-worker utilization, and job
+ * wall/queue-time percentiles. Backs the `smtsim prof-report`
+ * subcommand; split out of the CLI so tests can drive it directly.
+ */
+
+#ifndef DCRA_SMT_PROF_PROF_REPORT_HH
+#define DCRA_SMT_PROF_PROF_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace smt {
+
+struct ProfReportOptions
+{
+    int topScopes = 20; //!< rows in the top-scopes table
+};
+
+/**
+ * Parse every path as smtsim-prof-v1 NDJSON and render the merged
+ * report into out. Returns false with err set on unreadable files,
+ * schema mismatches, or malformed lines (line number included).
+ */
+bool renderProfReport(const std::vector<std::string> &paths,
+                      const ProfReportOptions &opts, std::string &out,
+                      std::string &err);
+
+} // namespace smt
+
+#endif // DCRA_SMT_PROF_PROF_REPORT_HH

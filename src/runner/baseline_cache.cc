@@ -1,5 +1,6 @@
 #include "runner/baseline_cache.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "runner/sweep_spec.hh"
@@ -81,6 +82,16 @@ BaselineCache::ipc(const SimConfig &cfg, const std::string &bench,
             }
             promise.set_exception(std::current_exception());
         }
+    } else if (hostTiming) {
+        waits.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        fut.wait();
+        waitNs.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
     }
     return fut.get();
 }

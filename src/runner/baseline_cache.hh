@@ -59,6 +59,26 @@ class BaselineCache
         return computes.load(std::memory_order_relaxed);
     }
 
+    /** @name Host-profiling counters (--prof)
+     * Opt in BEFORE any concurrent ipc() calls: with host timing on,
+     * every non-owner ipc() call counts as a wait and the wall time
+     * it spent blocked on another thread's compute is accumulated.
+     * Off (the default), ipc() takes no clock readings at all. The
+     * counters are host data — they never reach any deterministic
+     * output.
+     */
+    /** @{ */
+    void enableHostTiming(bool on) { hostTiming = on; }
+    std::uint64_t waitCount() const
+    {
+        return waits.load(std::memory_order_relaxed);
+    }
+    std::uint64_t waitNanos() const
+    {
+        return waitNs.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
     /** Distinct keys cached so far. */
     std::size_t size() const;
 
@@ -67,6 +87,9 @@ class BaselineCache
     mutable std::mutex mu;
     std::map<std::string, std::shared_future<double>> entries;
     std::atomic<std::uint64_t> computes{0};
+    bool hostTiming = false;
+    std::atomic<std::uint64_t> waits{0};
+    std::atomic<std::uint64_t> waitNs{0};
 };
 
 } // namespace smt

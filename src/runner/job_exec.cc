@@ -14,7 +14,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
 #include "sim/metrics.hh"
 #include "soc/chip.hh"
 #include "telemetry/telemetry.hh"
@@ -123,6 +125,16 @@ runJobInProcess(const SweepSpec &spec, const SweepJob &job,
         hub = std::make_unique<TelemetryHub>(
             spec.telemetry.statsInterval);
     }
+    // Same ownership story for the host profiler: one private
+    // instance per job, sidecar named by job index, no object at
+    // all when --prof is off. Spans (for the Perfetto merge) only
+    // record when there is a trace to merge them into.
+    std::unique_ptr<HostProfiler> hprof;
+    if (spec.prof.enabled()) {
+        hprof = std::make_unique<HostProfiler>(spec.prof.sampleEvery);
+        hprof->enableSpans(spec.telemetry.traceEnabled());
+    }
+    const std::uint64_t runT0 = hprof ? hprof->nowNs() : 0;
     if (job.config.soc.numCores > 1) {
         // CMP grid point: the whole chip is one job, so host
         // parallelism still never touches result determinism.
@@ -130,17 +142,36 @@ runJobInProcess(const SweepSpec &spec, const SweepJob &job,
                            job.policy);
         if (hub)
             chip.setTelemetry(hub.get());
+        if (hprof)
+            chip.setHostProfiler(hprof.get());
         s.raw = chip.run(spec.commits, spec.maxCycles, spec.warmup);
     } else {
         Simulator sim(job.config, job.workload.benches, job.policy);
         if (hub)
             sim.setTelemetry(hub.get());
+        if (hprof)
+            sim.setHostProfiler(hprof.get());
         s.raw = sim.run(spec.commits, spec.maxCycles, spec.warmup);
     }
+    if (hprof) {
+        hprof->record("{\"type\": \"run\", \"wallNs\": " +
+                      fmtU64(hprof->nowNs() - runT0) + "}");
+        writeHostProfile(*hprof,
+                         profFileBase(spec.prof.prefix, job.index),
+                         "job" + std::to_string(job.index));
+    }
     if (hub) {
+        const std::string &tsPrefix = spec.telemetry.tsOutPrefix();
         writeTelemetryFiles(
-            *hub, telemetryFileBase(spec.telemetry.tracePrefix,
-                                    job.index));
+            *hub,
+            tsPrefix.empty()
+                ? std::string()
+                : telemetryFileBase(tsPrefix, job.index),
+            spec.telemetry.traceEnabled()
+                ? telemetryFileBase(spec.telemetry.tracePrefix,
+                                    job.index)
+                : std::string(),
+            hprof ? hprof->chromeTraceEvents() : std::string());
     }
     for (std::size_t t = 0; t < job.workload.benches.size(); ++t) {
         s.multiIpc.push_back(s.raw.threads[t].ipc);
@@ -190,6 +221,9 @@ runIsolatedAttempt(const SweepSpec &spec, const SweepJob &job,
                    const ExecOptions &opts, FaultKind fault,
                    const std::atomic<int> *stop)
 {
+    using SteadyClock = std::chrono::steady_clock;
+    const bool timeOverhead = spec.prof.enabled();
+
     ExecOutcome out;
     int fds[2];
     if (pipe(fds) != 0) {
@@ -197,7 +231,15 @@ runIsolatedAttempt(const SweepSpec &spec, const SweepJob &job,
         return out;
     }
     std::fflush(nullptr);
+    const SteadyClock::time_point forkT0 =
+        timeOverhead ? SteadyClock::now() : SteadyClock::time_point();
     const pid_t pid = fork();
+    if (timeOverhead && pid >= 0) {
+        out.forkNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - forkT0)
+                .count());
+    }
     if (pid < 0) {
         close(fds[0]);
         close(fds[1]);
@@ -267,8 +309,16 @@ runIsolatedAttempt(const SweepSpec &spec, const SweepJob &job,
     close(fds[0]);
     if (timedOut || interrupted)
         kill(pid, SIGKILL);
+    const SteadyClock::time_point reapT0 =
+        timeOverhead ? SteadyClock::now() : SteadyClock::time_point();
     int status = 0;
     while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (timeOverhead) {
+        out.reapNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - reapT0)
+                .count());
     }
 
     if (interrupted) {
@@ -327,17 +377,23 @@ executeJob(const SweepSpec &spec, const SweepJob &job,
            const FaultPlan &faults, const std::atomic<int> *stop)
 {
     ExecOutcome last;
+    std::uint64_t forkNsTotal = 0;
+    std::uint64_t reapNsTotal = 0;
     for (int attempt = 0; attempt <= opts.retries; ++attempt) {
         if (attempt > 0)
             backoff(opts, attempt, stop);
         if (stop && stop->load(std::memory_order_relaxed)) {
             last.cause = "interrupted";
             last.attempts = attempt + 1;
+            last.forkNs = forkNsTotal;
+            last.reapNs = reapNsTotal;
             return last;
         }
         const FaultKind fault = faults.at(job.index, attempt);
         if (opts.isolate) {
             last = runIsolatedAttempt(spec, job, opts, fault, stop);
+            forkNsTotal += last.forkNs;
+            reapNsTotal += last.reapNs;
         } else {
             // Unisolated: crash/hang/exit1 hit the whole sweep —
             // exactly what the journal + --resume path is for.
@@ -351,6 +407,8 @@ executeJob(const SweepSpec &spec, const SweepJob &job,
             }
         }
         last.attempts = attempt + 1;
+        last.forkNs = forkNsTotal;
+        last.reapNs = reapNsTotal;
         if (last.ok || last.cause == "interrupted")
             return last;
     }

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -79,6 +80,16 @@ struct ExecOutcome
     std::string cause;
     int termSignal = 0; //!< signal that killed the child (crash)
     int exitCode = 0;   //!< child exit status (nonzero-exit)
+
+    /** @name Isolation overhead (--prof with --isolate-jobs)
+     * Host wall time spent forking the child and reaping it, summed
+     * over every attempt. Measured only when spec.prof is enabled —
+     * zero otherwise — and never part of any deterministic output.
+     */
+    /** @{ */
+    std::uint64_t forkNs = 0;
+    std::uint64_t reapNs = 0;
+    /** @} */
 };
 
 /**

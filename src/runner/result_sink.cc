@@ -6,6 +6,7 @@
 
 #include "common/json.hh"
 #include "common/stats.hh"
+#include "prof/host_profiler.hh"
 #include "telemetry/telemetry.hh"
 
 namespace smt {
@@ -185,7 +186,14 @@ JsonSink::render(const SweepResults &res) const
         out += "  \"telemetry\": {\"statsInterval\": " +
             fmtU64(res.spec.telemetry.statsInterval) +
             ", \"tracePrefix\": \"" +
-            jsonEscape(res.spec.telemetry.tracePrefix) + "\"},\n";
+            jsonEscape(res.spec.telemetry.tracePrefix) + "\"";
+        // Only present with --ts-out, so the combined --trace-out
+        // document keeps its exact pre-split bytes.
+        if (!res.spec.telemetry.tsPrefix.empty()) {
+            out += ", \"tsPrefix\": \"" +
+                jsonEscape(res.spec.telemetry.tsPrefix) + "\"";
+        }
+        out += "},\n";
     }
     out += "  \"commits\": " + fmtU64(res.spec.commits) + ",\n";
     out += "  \"warmup\": " + fmtU64(res.spec.warmup) + ",\n";
@@ -217,12 +225,20 @@ JsonSink::render(const SweepResults &res) const
         out += hmean ? fmtDouble(r.summary.hmean) : "null";
         out += ", \"mlpBusyMean\": " + fmtDouble(raw.mlpBusyMean);
         if (tlm) {
-            const std::string base = telemetryFileBase(
-                res.spec.telemetry.tracePrefix, r.job.index);
+            // With --trace-out the reference bytes are exactly the
+            // historical ones (tsOutPrefix() falls back to the trace
+            // prefix); ts-only runs reference just the time series.
+            const std::string tsBase = telemetryFileBase(
+                res.spec.telemetry.tsOutPrefix(), r.job.index);
             out += ",\n     \"telemetry\": {\"timeSeries\": \"" +
-                jsonEscape(base + ".ts.ndjson") +
-                "\", \"trace\": \"" +
-                jsonEscape(base + ".trace.json") + "\"}";
+                jsonEscape(tsBase + ".ts.ndjson") + "\"";
+            if (res.spec.telemetry.traceEnabled()) {
+                const std::string trBase = telemetryFileBase(
+                    res.spec.telemetry.tracePrefix, r.job.index);
+                out += ", \"trace\": \"" +
+                    jsonEscape(trBase + ".trace.json") + "\"";
+            }
+            out += "}";
         }
         if (!raw.coreCommitHashes.empty()) {
             // CMP job: the chip-level outcome, including the
@@ -329,6 +345,37 @@ JsonSink::render(const SweepResults &res) const
             out += ++emitted < nRetried ? ",\n" : "\n";
         }
         out += "  ]";
+    }
+    // Host-profiling block, present only under --prof. Everything in
+    // it is host wall-clock data — nondeterministic by construction
+    // and flagged as such, so no golden check may ever pin it.
+    if (res.spec.prof.enabled()) {
+        out += ",\n  \"hostProfile\": {\"nondeterministic\": true";
+        out += ", \"prefix\": \"" +
+            jsonEscape(res.spec.prof.prefix) + "\"";
+        out += ", \"sampleEvery\": " +
+            fmtU64(res.spec.prof.sampleEvery);
+        out += ", \"runnerSidecar\": \"" +
+            jsonEscape(res.spec.prof.prefix + ".runner.prof.ndjson") +
+            "\",\n   \"jobs\": [\n";
+        for (std::size_t i = 0; i < res.results.size(); ++i) {
+            const JobResult &r = res.results[i];
+            out += "    {\"job\": " + fmtU64(r.job.index);
+            out += ", \"sidecar\": \"" +
+                jsonEscape(profFileBase(res.spec.prof.prefix,
+                                        r.job.index) +
+                           ".prof.ndjson") +
+                "\"";
+            out += ", \"wallNs\": " + fmtU64(r.hostWallNs);
+            out += ", \"queueNs\": " + fmtU64(r.hostQueueNs);
+            if (r.hostForkNs || r.hostReapNs) {
+                out += ", \"forkNs\": " + fmtU64(r.hostForkNs);
+                out += ", \"reapNs\": " + fmtU64(r.hostReapNs);
+            }
+            out += "}";
+            out += i + 1 < res.results.size() ? ",\n" : "\n";
+        }
+        out += "  ]}";
     }
     out += "\n}\n";
     return out;

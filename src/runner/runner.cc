@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <mutex>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
 #include "runner/job_scheduler.hh"
 #include "runner/journal.hh"
 
@@ -177,6 +180,22 @@ SweepRunner::run()
     const std::atomic<int> *stop =
         faultTolerant ? &g_stopFlag : nullptr;
 
+    // Host timing (--prof): wall time per job plus its wait in the
+    // scheduler queue, measured around the worker lambda. Purely
+    // observational — no clock is read unless --prof asked for it.
+    using SteadyClock = std::chrono::steady_clock;
+    const bool profiling = spec.prof.enabled();
+    if (profiling)
+        cache->enableHostTiming(true);
+    const SteadyClock::time_point sweepT0 =
+        profiling ? SteadyClock::now() : SteadyClock::time_point();
+    const auto nsSince = [](SteadyClock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                SteadyClock::now() - t0)
+                .count());
+    };
+
     std::mutex failMu;
     const JobScheduler sched(nJobs);
     sched.run(pending.size(), [&](std::size_t k) {
@@ -184,9 +203,22 @@ SweepRunner::run()
         const SweepJob &job = jobs[i];
         if (stop && stop->load(std::memory_order_relaxed))
             return; // interrupted: leave the job for --resume
+        const SteadyClock::time_point jobT0 =
+            profiling ? SteadyClock::now() : SteadyClock::time_point();
+        if (profiling) {
+            out.results[i].hostQueueNs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    jobT0 - sweepT0)
+                    .count());
+        }
         const ExecOutcome o = executeJob(spec, job, *cache,
                                          opts.exec, opts.faults,
                                          stop);
+        if (profiling) {
+            out.results[i].hostWallNs = nsSince(jobT0);
+            out.results[i].hostForkNs = o.forkNs;
+            out.results[i].hostReapNs = o.reapNs;
+        }
         // Each job writes only its own pre-sized slot, so no other
         // synchronisation is needed and the output order does not
         // depend on scheduling.
@@ -216,6 +248,33 @@ SweepRunner::run()
               [](const JobFailure &a, const JobFailure &b) {
                   return a.index < b.index;
               });
+
+    // Runner-level prof sidecar: one job record per executed job
+    // (replayed jobs carry no host time and are skipped) plus the
+    // baseline-cache contention totals.
+    if (profiling) {
+        HostProfiler runnerProf(spec.prof.sampleEvery);
+        for (const JobResult &r : out.results) {
+            if (r.hostWallNs == 0)
+                continue;
+            std::string rec = "{\"type\": \"job\", \"job\": " +
+                fmtU64(r.job.index) +
+                ", \"wallNs\": " + fmtU64(r.hostWallNs) +
+                ", \"queueNs\": " + fmtU64(r.hostQueueNs) +
+                ", \"forkNs\": " + fmtU64(r.hostForkNs) +
+                ", \"reapNs\": " + fmtU64(r.hostReapNs) +
+                ", \"attempts\": " +
+                fmtU64(static_cast<std::uint64_t>(r.attempts)) + "}";
+            runnerProf.record(std::move(rec));
+        }
+        runnerProf.record(
+            "{\"type\": \"baseline\", \"computes\": " +
+            fmtU64(cache->computeCount()) +
+            ", \"waits\": " + fmtU64(cache->waitCount()) +
+            ", \"waitNs\": " + fmtU64(cache->waitNanos()) + "}");
+        writeHostProfile(runnerProf, spec.prof.prefix + ".runner",
+                         "runner");
+    }
     return out;
 }
 

@@ -17,6 +17,7 @@
 #define DCRA_SMT_RUNNER_RUNNER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,20 @@ struct JobResult
     int attempts = 1;
     /** True when every attempt failed; summary is then empty. */
     bool failed = false;
+
+    /** @name Host timing (--prof only; zero otherwise)
+     * Wall time the job spent executing, waiting in the scheduler
+     * queue (sweep start to job start), and — under --isolate-jobs —
+     * forking/reaping the child. Host data: these fields are never
+     * journaled and never reach the deterministic sinks; they feed
+     * the runner prof sidecar and the JSON sink's hostProfile block.
+     */
+    /** @{ */
+    std::uint64_t hostWallNs = 0;
+    std::uint64_t hostQueueNs = 0;
+    std::uint64_t hostForkNs = 0;
+    std::uint64_t hostReapNs = 0;
+    /** @} */
 };
 
 /** A job whose every attempt failed (isolation mode). */

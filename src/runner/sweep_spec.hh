@@ -81,16 +81,57 @@ struct ConfigOverride
  * one-job spec). Disabled — the default — means no hub is ever
  * constructed and the simulation and its outputs are byte-identical
  * to a build without the subsystem. Enabled, every job gets its own
- * TelemetryHub and writes <tracePrefix>.job<index>.ts.ndjson plus
- * <tracePrefix>.job<index>.trace.json (deterministic job-order
- * naming, so --jobs N never renames anything).
+ * TelemetryHub and writes time-series and/or trace sidecars with
+ * deterministic job-order naming (`<prefix>.job<index>.ts.ndjson`,
+ * `<prefix>.job<index>.trace.json`), so --jobs N never renames
+ * anything.
+ *
+ * Two output prefixes, two CLI flags:
+ *  - `--trace-out <prefix>` (tracePrefix) keeps its historical
+ *    combined behaviour: the event trace AND the time series.
+ *  - `--ts-out <prefix>` (tsPrefix) asks for the time series alone —
+ *    no event tracer output, no trace.json.
+ * Both at once write the time series to tsPrefix and the trace to
+ * tracePrefix.
  */
 struct TelemetrySpec
 {
     Cycle statsInterval = 0;  //!< sample every N cycles (0 = off)
-    std::string tracePrefix;  //!< output path prefix; "" disables
+    std::string tracePrefix;  //!< trace (+ts) path prefix; "" = off
+    std::string tsPrefix;     //!< time-series-only prefix; "" = off
 
-    bool enabled() const { return !tracePrefix.empty(); }
+    bool enabled() const
+    {
+        return !tracePrefix.empty() || !tsPrefix.empty();
+    }
+    /** The event-trace sidecar is wanted (--trace-out given). */
+    bool traceEnabled() const { return !tracePrefix.empty(); }
+    /** Where the time series goes: --ts-out wins, else the combined
+     *  --trace-out prefix ("" when telemetry is off entirely). */
+    const std::string &
+    tsOutPrefix() const
+    {
+        return tsPrefix.empty() ? tracePrefix : tsPrefix;
+    }
+};
+
+/**
+ * Host-profiling request (--prof). Orthogonal to telemetry and —
+ * unlike it — explicitly nondeterministic: everything it produces is
+ * host wall-clock data, quarantined in its own sidecars
+ * (`<prefix>.job<index>.prof.ndjson`, `<prefix>.runner.prof.ndjson`)
+ * and the `hostProfile` block of the JSON sink. Disabled (the
+ * default), no HostProfiler object exists anywhere and every
+ * deterministic output is byte-identical to a build without the
+ * subsystem. Never part of the journal spec key: a --prof run may
+ * resume a plain journal and vice versa.
+ */
+struct ProfSpec
+{
+    std::string prefix;             //!< sidecar path prefix; "" = off
+    std::uint64_t sampleEvery = 64; //!< time 1 in N ticks
+
+    bool enabled() const { return !prefix.empty(); }
 };
 
 /**
@@ -112,6 +153,9 @@ struct SweepSpec
 
     /** Per-job time-series/trace capture (off by default). */
     TelemetrySpec telemetry;
+
+    /** Host wall-clock profiling (off by default). */
+    ProfSpec prof;
 
     std::vector<Workload> workloads;
     std::vector<PolicyKind> policies;

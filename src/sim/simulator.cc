@@ -135,6 +135,12 @@ Simulator::setTelemetry(TelemetryHub *hub)
     pipe->registerTelemetry(*telem, "");
 }
 
+void
+Simulator::setHostProfiler(HostProfiler *prof)
+{
+    pipe->setHostProfiler(prof, "");
+}
+
 SimResult
 Simulator::run(std::uint64_t commitLimit, Cycle maxCycles,
                std::uint64_t warmupCommits)

@@ -176,6 +176,15 @@ class Simulator
      */
     void setTelemetry(TelemetryHub *hub);
 
+    /**
+     * Attach the host wall-clock profiler (--prof; nullptr
+     * detaches): the pipeline's stage scopes register unprefixed
+     * ("stage.fetch", ...) and tick() host-times 1 in
+     * prof->sampleEvery() cycles. Host times never reach SimResult.
+     * Call before run().
+     */
+    void setHostProfiler(HostProfiler *prof);
+
     /** The pipeline, for tests that need to poke internals. */
     Pipeline &pipeline() { return *pipe; }
 

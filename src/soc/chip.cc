@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "prof/host_profiler.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/bench_profile.hh"
 
@@ -253,9 +255,27 @@ void
 ChipSimulator::tickAllCores()
 {
     ++cycle;
+    // Decide once, on the main thread, whether this chip cycle's
+    // core ticks are host-timed; the workers read the flag after
+    // their awaitCycle acquire (beginCycle's release publishes it).
+    // Every core samples the same cycles, so per-core scope totals
+    // stay comparable.
+    if (hprof)
+        hprofSample =
+            ++hprofTickN >= hprofEvery ? (hprofTickN = 0, true)
+                                       : false;
     if (!wavefront) {
-        for (Core &core : cores)
-            core.pipe->tick();
+        if (hprofSample) {
+            for (int c = 0; c < nCores; ++c) {
+                const std::uint64_t t0 = hprof->nowNs();
+                cores[c].pipe->tick();
+                hprof->add(hsCoreTick[static_cast<std::size_t>(c)],
+                           t0, hprof->nowNs());
+            }
+        } else {
+            for (Core &core : cores)
+                core.pipe->tick();
+        }
         return;
     }
     // Publish the cycle, tick worker 0's cores on this thread, then
@@ -264,7 +284,13 @@ ChipSimulator::tickAllCores()
     // gate) happened-before anything the main thread does next.
     wavefront->beginCycle(cycle);
     tickCores(0, cycle);
-    wavefront->awaitAll(cycle);
+    if (hprof) {
+        const std::uint64_t t0 = hprof->nowNs();
+        wavefront->awaitAll(cycle);
+        hprof->add(hsMainAwait, t0, hprof->nowNs());
+    } else {
+        wavefront->awaitAll(cycle);
+    }
 }
 
 void
@@ -272,6 +298,16 @@ ChipSimulator::tickCores(int w, Cycle t)
 {
     // Ascending core order per worker is what makes the wavefront's
     // waits-for relation acyclic — see soc/tick_wavefront.hh.
+    if (hprof && hprofSample) {
+        for (int c = w; c < nCores; c += nTickWorkers) {
+            const std::uint64_t t0 = hprof->nowNs();
+            cores[c].pipe->tick();
+            hprof->add(hsCoreTick[static_cast<std::size_t>(c)], t0,
+                       hprof->nowNs());
+            wavefront->coreDone(c, t);
+        }
+        return;
+    }
     for (int c = w; c < nCores; c += nTickWorkers) {
         cores[c].pipe->tick();
         wavefront->coreDone(c, t);
@@ -282,8 +318,17 @@ void
 ChipSimulator::workerLoop(int w)
 {
     Cycle last = 0;
+    const int idleScope =
+        hprof ? hsWorkerIdle[static_cast<std::size_t>(w - 1)] : 0;
     for (;;) {
-        const Cycle t = wavefront->awaitCycle(last);
+        Cycle t;
+        if (hprof) {
+            const std::uint64_t t0 = hprof->nowNs();
+            t = wavefront->awaitCycle(last);
+            hprof->add(idleScope, t0, hprof->nowNs());
+        } else {
+            t = wavefront->awaitCycle(last);
+        }
         if (t == TickWavefront::stopCycle)
             return;
         tickCores(w, t);
@@ -304,6 +349,17 @@ ChipSimulator::startTickWorkers()
     nTickWorkers = w;
     wavefront = std::make_unique<TickWavefront>(nCores);
     llc->setAccessGate(wavefront.get());
+    if (hprof) {
+        // Scope registration is single-threaded: both the wavefront
+        // gate scopes and the per-worker idle scopes must exist
+        // before the first worker spawns.
+        wavefront->setHostProfiler(hprof);
+        hsMainAwait = hprof->scope("wave.main.await");
+        hsWorkerIdle.clear();
+        for (int i = 1; i < w; ++i)
+            hsWorkerIdle.push_back(hprof->scope(
+                "wave.w" + std::to_string(i) + ".idle"));
+    }
     workers.reserve(static_cast<std::size_t>(w - 1));
     for (int i = 1; i < w; ++i)
         workers.emplace_back([this, i] { workerLoop(i); });
@@ -318,6 +374,36 @@ ChipSimulator::stopTickWorkers()
     for (std::thread &th : workers)
         th.join();
     workers.clear();
+    if (hprof) {
+        // The workers joined, so the per-core wait stats are stable;
+        // record them into the profile before the wavefront dies.
+        hprof->record("{\"type\": \"wave-config\", \"workers\": " +
+                      std::to_string(nTickWorkers) +
+                      ", \"cores\": " + std::to_string(nCores) +
+                      "}");
+        for (int c = 0; c < nCores; ++c) {
+            const TickWavefront::WaveStats &ws =
+                wavefront->waveStats(c);
+            std::string rec =
+                "{\"type\": \"wavefront\", \"core\": " +
+                std::to_string(c) +
+                ", \"worker\": " + std::to_string(c % nTickWorkers) +
+                ", \"gateWaits\": " + fmtU64(ws.gateWaits) +
+                ", \"spinIters\": " + fmtU64(ws.spinIters) +
+                ", \"yieldIters\": " + fmtU64(ws.yieldIters) +
+                ", \"yieldTransitions\": " +
+                fmtU64(ws.yieldTransitions) +
+                ", \"waitNs\": " + fmtU64(ws.waitNs) +
+                ", \"awaited\": [";
+            for (std::size_t k = 0; k < ws.awaited.size(); ++k) {
+                if (k)
+                    rec += ", ";
+                rec += fmtU64(ws.awaited[k]);
+            }
+            rec += "]}";
+            hprof->record(std::move(rec));
+        }
+    }
     if (llc)
         llc->setAccessGate(nullptr);
     wavefront.reset();
@@ -351,6 +437,31 @@ ChipSimulator::setTelemetry(TelemetryHub *hub)
 }
 
 void
+ChipSimulator::setHostProfiler(HostProfiler *prof)
+{
+    hprof = prof;
+    hprofTickN = 0;
+    hprofSample = false;
+    hsCoreTick.clear();
+    if (llc)
+        llc->setHostProfiler(prof);
+    if (!prof) {
+        for (Core &core : cores)
+            core.pipe->setHostProfiler(nullptr, "");
+        hprofEvery = 0;
+        return;
+    }
+    hprofEvery = prof->sampleEvery();
+    for (int c = 0; c < nCores; ++c) {
+        const std::string cp = "c" + std::to_string(c) + ".";
+        hsCoreTick.push_back(prof->scope(cp + "tick"));
+        cores[c].pipe->setHostProfiler(prof, cp);
+    }
+    hsEpoch = prof->scope("chip.epoch");
+    hsMigrate = prof->scope("chip.migrate");
+}
+
+void
 ChipSimulator::resetAllStats()
 {
     for (Core &core : cores) {
@@ -378,6 +489,7 @@ ChipSimulator::runEpoch()
     const Cycle dt = cycle - intervalStart;
     if (dt == 0)
         return;
+    ProfScope hps(hprof, hsEpoch);
     ++epoch;
 
     std::vector<ThreadPerfSample> metrics(
@@ -476,6 +588,7 @@ ChipSimulator::runEpoch()
 void
 ChipSimulator::completeMigration()
 {
+    ProfScope hps(hprof, hsMigrate);
     // Detach every mover (thread-id order), banking its counters.
     for (int s = 0; s < nThreads; ++s) {
         if (pendingPlacement[s] == coreOf[s])

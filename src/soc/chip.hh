@@ -95,6 +95,20 @@ class ChipSimulator
      */
     void setTelemetry(TelemetryHub *hub);
 
+    /**
+     * Attach the host wall-clock profiler (--prof; nullptr
+     * detaches). Registers per-core tick scopes ("c<N>.tick"),
+     * every pipeline's stage scopes ("c<N>.stage.*"), the LLC
+     * access/epoch scopes and the chip epoch/migration scopes; a
+     * parallel run adds the wavefront gate scopes, per-worker idle
+     * scopes and the main thread's await scope, and stopTickWorkers
+     * harvests the per-core gate-wait records. Core ticks are timed
+     * on 1 in prof->sampleEvery() chip cycles (all cores sample the
+     * same cycles). Host times never touch SimResult. Call before
+     * run().
+     */
+    void setHostProfiler(HostProfiler *prof);
+
     /** @name Introspection for tests */
     /** @{ */
     int numCores() const { return nCores; }
@@ -241,6 +255,22 @@ class ChipSimulator
     int allocTrack = 0;
     std::vector<int> coreTracks;
     std::vector<bool> telemSlow; //!< per-thread slow-phase latch
+    /** @} */
+
+    /** @name Host profiling (null/zero unless setHostProfiler ran) */
+    /** @{ */
+    HostProfiler *hprof = nullptr;
+    std::uint64_t hprofEvery = 0;  //!< cached sampleEvery()
+    std::uint64_t hprofTickN = 0;  //!< decimation counter
+    /** This chip cycle is host-timed. Written by the main thread
+     *  before beginCycle (whose release publishes it), read by the
+     *  workers after their awaitCycle acquire. */
+    bool hprofSample = false;
+    std::vector<int> hsCoreTick;   //!< c<i>.tick scope ids
+    int hsEpoch = 0;               //!< chip.epoch scope
+    int hsMigrate = 0;             //!< chip.migrate scope
+    int hsMainAwait = 0;           //!< wave.main.await scope
+    std::vector<int> hsWorkerIdle; //!< wave.w<i>.idle (workers 1..)
     /** @} */
 };
 

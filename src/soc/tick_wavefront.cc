@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
 
 namespace smt {
 
@@ -76,6 +77,23 @@ TickWavefront::requestStop()
 }
 
 void
+TickWavefront::setHostProfiler(HostProfiler *prof)
+{
+    hprof = prof;
+    stats.clear();
+    gateScope.clear();
+    if (!prof)
+        return;
+    stats.resize(static_cast<std::size_t>(nCores));
+    for (int k = 0; k < nCores; ++k) {
+        stats[static_cast<std::size_t>(k)].awaited.assign(
+            static_cast<std::size_t>(nCores), 0);
+        gateScope.push_back(
+            prof->scope("wave.c" + std::to_string(k) + ".gate"));
+    }
+}
+
+void
 TickWavefront::enter(int core)
 {
     // The published cycle is stable for the duration of a tick (the
@@ -85,13 +103,53 @@ TickWavefront::enter(int core)
     CoreSync &me = cs[static_cast<std::size_t>(core)];
     if (me.granted == t)
         return;
+    if (!hprof) {
+        for (int k = 0; k < core; ++k) {
+            unsigned spins = 0;
+            while (cs[static_cast<std::size_t>(k)].done.load(
+                       std::memory_order_acquire) < t)
+                backoff(spins);
+        }
+        me.granted = t;
+        return;
+    }
+
+    // Profiled wait: accumulate into locals while blocked and store
+    // once at the end, so this core's cache line (which higher-id
+    // cores spin on) is not bounced mid-wait.
+    std::uint64_t t0 = 0;
+    std::uint64_t spinAcc = 0, yieldAcc = 0;
+    bool blocked = false, escalated = false;
+    int firstAwaited = -1;
     for (int k = 0; k < core; ++k) {
         unsigned spins = 0;
         while (cs[static_cast<std::size_t>(k)].done.load(
-                   std::memory_order_acquire) < t)
+                   std::memory_order_acquire) < t) {
+            if (!blocked) {
+                blocked = true;
+                firstAwaited = k;
+                t0 = hprof->nowNs();
+            }
             backoff(spins);
+        }
+        spinAcc += spins;
+        if (spins >= 64) {
+            yieldAcc += spins - 63;
+            escalated = true;
+        }
     }
     me.granted = t;
+    if (!blocked)
+        return;
+    const std::uint64_t t1 = hprof->nowNs();
+    WaveStats &ws = stats[static_cast<std::size_t>(core)];
+    ws.gateWaits += 1;
+    ws.spinIters += spinAcc - yieldAcc;
+    ws.yieldIters += yieldAcc;
+    ws.yieldTransitions += escalated ? 1 : 0;
+    ws.waitNs += t1 - t0;
+    ws.awaited[static_cast<std::size_t>(firstAwaited)] += 1;
+    hprof->add(gateScope[static_cast<std::size_t>(core)], t0, t1);
 }
 
 } // namespace smt

@@ -30,12 +30,15 @@
 #define DCRA_SMT_SOC_TICK_WAVEFRONT_HH
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
 #include "mem/shared_cache.hh"
 
 namespace smt {
+
+class HostProfiler;
 
 class TickWavefront : public LlcAccessGate
 {
@@ -71,6 +74,39 @@ class TickWavefront : public LlcAccessGate
      */
     void enter(int core) override;
 
+    /**
+     * @name Host contention accounting (--prof)
+     *
+     * Per-core gate-wait counters, mutated only by the worker that
+     * owns the core (one plain store per *blocked* enter(), after
+     * the wait resolves) and read only after the workers joined.
+     * With no profiler attached enter() pays a single null test.
+     */
+    /** @{ */
+    struct WaveStats
+    {
+        std::uint64_t gateWaits = 0; //!< enter() calls that blocked
+        std::uint64_t spinIters = 0; //!< pause-loop iterations
+        std::uint64_t yieldIters = 0; //!< iterations past the spin
+                                      //!< budget (each one yielded)
+        std::uint64_t yieldTransitions = 0; //!< waits that escalated
+                                            //!< from spin to yield
+        std::uint64_t waitNs = 0; //!< host wall time blocked
+        std::vector<std::uint64_t> awaited; //!< waits first blocked
+                                            //!< on lower core [k]
+    };
+
+    /** Attach the profiler; registers the wave.c<k>.gate scopes.
+     *  Call before the workers start. */
+    void setHostProfiler(HostProfiler *prof);
+
+    /** Per-core wait totals; valid after the workers joined. */
+    const WaveStats &waveStats(int core) const
+    {
+        return stats[static_cast<std::size_t>(core)];
+    }
+    /** @} */
+
   private:
     /** One cache line per core: its completion flag plus the owning
      *  worker's gate-grant cache, false-sharing-free. */
@@ -87,6 +123,10 @@ class TickWavefront : public LlcAccessGate
     int nCores;
     std::vector<CoreSync> cs;
     std::atomic<Cycle> go{0}; //!< cycle the workers may tick
+
+    HostProfiler *hprof = nullptr;
+    std::vector<WaveStats> stats;   //!< per core, owner-written
+    std::vector<int> gateScope;     //!< wave.c<k>.gate scope ids
 };
 
 } // namespace smt

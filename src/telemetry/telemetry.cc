@@ -6,6 +6,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/version.hh"
+#include "prof/host_info.hh"
 
 namespace smt {
 
@@ -202,7 +203,7 @@ TelemetryHub::renderTimeSeries() const
 }
 
 std::string
-TelemetryHub::renderChromeTrace() const
+TelemetryHub::renderChromeTrace(const std::string &extraEvents) const
 {
     // The trace-event format: instant events ("ph": "i") on one
     // pseudo-thread per track, named through "M" metadata records.
@@ -231,6 +232,12 @@ TelemetryHub::renderChromeTrace() const
             out += ", \"args\": " + e.args;
         out += "}";
     }
+    if (!extraEvents.empty()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n" + extraEvents;
+    }
     out += "\n], \"displayTimeUnit\": \"ms\"}\n";
     return out;
 }
@@ -244,7 +251,9 @@ provenanceJson()
     out += jsonEscape(SMT_BUILD_TYPE);
     out += "\", \"cxxFlags\": \"";
     out += jsonEscape(SMT_CXX_FLAGS);
-    out += "\"}";
+    out += "\", \"host\": ";
+    out += hostInfoJson(readHostInfo(), /*withLoadavg=*/false);
+    out += "}";
     return out;
 }
 
@@ -277,13 +286,18 @@ writeFile(const std::string &path, const std::string &text)
 } // anonymous namespace
 
 bool
-writeTelemetryFiles(const TelemetryHub &hub, const std::string &base)
+writeTelemetryFiles(const TelemetryHub &hub, const std::string &tsBase,
+                    const std::string &traceBase,
+                    const std::string &hostTraceEvents)
 {
-    const bool tsOk =
-        writeFile(base + ".ts.ndjson", hub.renderTimeSeries());
-    const bool trOk =
-        writeFile(base + ".trace.json", hub.renderChromeTrace());
-    return tsOk && trOk;
+    bool ok = true;
+    if (!tsBase.empty())
+        ok = writeFile(tsBase + ".ts.ndjson",
+                       hub.renderTimeSeries()) && ok;
+    if (!traceBase.empty())
+        ok = writeFile(traceBase + ".trace.json",
+                       hub.renderChromeTrace(hostTraceEvents)) && ok;
+    return ok;
 }
 
 } // namespace smt

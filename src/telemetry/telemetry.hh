@@ -114,9 +114,19 @@ class TelemetryHub
     /** The `smtsim-ts-v1` NDJSON document (header, samples, footer). */
     std::string renderTimeSeries() const;
 
-    /** Chrome trace-event JSON: one metadata-named thread per track,
-     *  instant events with ts = cycle (displayed as microseconds). */
-    std::string renderChromeTrace() const;
+    /**
+     * Chrome trace-event JSON: one metadata-named thread per track,
+     * instant events with ts = cycle (displayed as microseconds).
+     * @p extraEvents, when non-empty, is a pre-rendered fragment of
+     * additional trace-event records (no enclosing array, records
+     * joined by ",\n") spliced before the closing bracket — the
+     * --prof host-span tracks use it. Extra records are host data
+     * and therefore nondeterministic; callers needing byte-stable
+     * traces pass nothing, and the rendered bytes are then
+     * unchanged.
+     */
+    std::string renderChromeTrace(
+        const std::string &extraEvents = std::string()) const;
 
   private:
     enum class Kind { Counter, Rate, Ratio, Gauge };
@@ -165,9 +175,13 @@ class TelemetryHub
 
 /**
  * Run provenance as a JSON object literal: git describe, build type
- * and compiler flags baked in by CMake (common/version.hh). The same
- * binary always renders the same bytes, so provenance never breaks
- * the cross-worker-count output diffs.
+ * and compiler flags baked in by CMake (common/version.hh), plus the
+ * *stable* host facts (CPU count, /proc/cpuinfo model name). The
+ * same binary on the same host always renders the same bytes, so
+ * provenance never breaks the cross-worker-count output diffs. The
+ * run-varying host facts (load average) deliberately live only in
+ * the --prof sidecars and BENCH_perf.json, which no byte diff
+ * covers.
  */
 std::string provenanceJson();
 
@@ -177,11 +191,19 @@ std::string telemetryFileBase(const std::string &prefix,
                               std::size_t jobIndex);
 
 /**
- * Write `<base>.ts.ndjson` and `<base>.trace.json`.
- * @return false (with a warn()) if either file could not be written.
+ * Write the telemetry sidecars: `<tsBase>.ts.ndjson` and
+ * `<traceBase>.trace.json`. An empty base skips that file — the
+ * --ts-out / --trace-out split maps directly onto the two bases
+ * (with --trace-out alone both point at the same base, the
+ * historical combined behaviour, byte-identical). @p hostTraceEvents
+ * is forwarded to renderChromeTrace (the --prof merge).
+ * @return false (with a warn()) if any requested file failed.
  */
 bool writeTelemetryFiles(const TelemetryHub &hub,
-                         const std::string &base);
+                         const std::string &tsBase,
+                         const std::string &traceBase,
+                         const std::string &hostTraceEvents =
+                             std::string());
 
 } // namespace smt
 

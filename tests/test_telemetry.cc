@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "runner/result_sink.hh"
 #include "runner/runner.hh"
 #include "sim/simulator.hh"
@@ -152,6 +154,96 @@ TEST(TelemetryHub, RenderFormats)
         << tr;
 }
 
+TEST(TelemetryHub, ChromeTraceEscapesSpecialNames)
+{
+    // Channel, track, and event names containing JSON-hostile
+    // characters must not break either render format.
+    std::uint64_t ctr = 0;
+    TelemetryHub hub(10);
+    hub.counter("c\"quote", [&] { return ctr; });
+    const int t = hub.track("track\\back\"slash");
+    hub.beginSampling(0);
+    hub.tick(10);
+    hub.event(t, 5, "ev\nline");
+
+    // The Chrome trace is one JSON document: it must parse, and the
+    // names must round-trip through the escaping.
+    JsonValue doc;
+    const std::string tr = hub.renderChromeTrace();
+    ASSERT_TRUE(parseJson(tr, doc)) << tr;
+    const JsonValue *evs = doc.find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    bool sawTrack = false, sawEvent = false;
+    for (const JsonValue &e : evs->arr) {
+        const JsonValue *name = e.find("name");
+        if (!name)
+            continue;
+        if (name->str == "thread_name" &&
+            e.find("args")->find("name")->str ==
+                "track\\back\"slash")
+            sawTrack = true;
+        if (name->str == "ev\nline")
+            sawEvent = true;
+    }
+    EXPECT_TRUE(sawTrack);
+    EXPECT_TRUE(sawEvent);
+
+    // The NDJSON header line (channel names) must parse too.
+    const std::string ts = hub.renderTimeSeries();
+    JsonValue hdr;
+    ASSERT_TRUE(
+        parseJson(ts.substr(0, ts.find('\n')), hdr)) << ts;
+    EXPECT_EQ(hdr.find("channels")->arr[0].find("name")->str,
+              "c\"quote");
+}
+
+TEST(TelemetryHub, TimeSeriesFooterCountsWithoutDrops)
+{
+    std::uint64_t ctr = 0;
+    TelemetryHub hub(5);
+    hub.counter("c", [&] { return ctr; });
+    const int t = hub.track("x");
+    hub.beginSampling(0);
+    for (Cycle c = 5; c <= 15; c += 5)
+        hub.tick(c);
+    hub.event(t, 7, "e");
+    hub.event(t, 9, "e");
+
+    // Footer reports exact sample/event totals and explicit zero
+    // drop counters when nothing overflowed.
+    EXPECT_NE(hub.renderTimeSeries().find(
+                  "{\"samples\": 3, \"events\": 2, "
+                  "\"droppedSamples\": 0, \"droppedEvents\": 0}"),
+              std::string::npos);
+}
+
+TEST(TelemetryHub, ChromeTraceSplicesExtraHostEvents)
+{
+    const std::string extra =
+        "{\"name\": \"host:stage.fetch\", \"ph\": \"X\", "
+        "\"ts\": 1, \"dur\": 2, \"pid\": 1, \"tid\": 0}";
+
+    // Splice into an empty hub: the fragment is the only event.
+    TelemetryHub empty(0);
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(empty.renderChromeTrace(extra), doc));
+    ASSERT_EQ(doc.find("traceEvents")->arr.size(), 1u);
+    EXPECT_EQ(doc.find("traceEvents")->arr[0].find("pid")->asU64(),
+              1u);
+
+    // Splice after real events: comma placement must stay valid.
+    TelemetryHub hub(0);
+    const int t = hub.track("x");
+    hub.beginSampling(0);
+    hub.event(t, 3, "e");
+    ASSERT_TRUE(parseJson(hub.renderChromeTrace(extra), doc));
+    // metadata record + event + host event
+    EXPECT_EQ(doc.find("traceEvents")->arr.size(), 3u);
+
+    // No extra events: byte-identical to the no-argument render.
+    EXPECT_EQ(hub.renderChromeTrace(), hub.renderChromeTrace(""));
+}
+
 // ---------------------------------------------------------------
 // zero perturbation + cross-worker-count determinism
 // ---------------------------------------------------------------
@@ -284,6 +376,34 @@ TEST(TelemetrySweep, V2JsonByteIdenticalAcrossJobs)
     EXPECT_NE(serial.find("\"gitDescribe\": "), std::string::npos);
     EXPECT_NE(serial.find("t.job0.ts.ndjson"), std::string::npos);
     EXPECT_NE(serial.find("t.job1.trace.json"), std::string::npos);
+}
+
+TEST(TelemetrySweep, TsOutAloneWritesOnlyTimeSeries)
+{
+    char tmpl[] = "/tmp/smtsim-telemetry-XXXXXX";
+    char *dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+
+    SweepSpec spec = smallSweep();
+    spec.telemetry.tsPrefix = std::string(dir) + "/ts";
+    spec.telemetry.statsInterval = 250;
+    SweepRunner runner(std::move(spec), 1);
+    const std::string json = JsonSink().render(runner.run());
+
+    // v2 document referencing the time-series sidecars, but no
+    // trace entries — no event tracer was requested.
+    EXPECT_NE(json.find("\"schema\": \"smtsim-sweep-v2\""),
+              std::string::npos);
+    EXPECT_NE(json.find("ts.job0.ts.ndjson"), std::string::npos);
+    EXPECT_NE(json.find("\"tsPrefix\""), std::string::npos);
+    EXPECT_EQ(json.find("trace.json"), std::string::npos);
+
+    // On disk: the ts file exists, the trace file does not.
+    EXPECT_TRUE(std::ifstream(std::string(dir) + "/ts.job0.ts.ndjson")
+                    .good());
+    EXPECT_FALSE(
+        std::ifstream(std::string(dir) + "/ts.job0.trace.json")
+            .good());
 }
 
 TEST(TelemetrySweep, OffKeepsTheV1Bytes)

@@ -15,8 +15,12 @@
 #   tools/run_perf.sh --quick
 #   tools/run_perf.sh --label after --baseline BENCH_before.json
 #
-# A Release build is strongly recommended; the numbers are meant to
-# track the simulator's hot-path performance over time.
+# Only Release builds are accepted: the binary's baked-in build type
+# (src/common/version.hh, printed by --build-info) is asserted before
+# anything runs, because a Debug number silently committed to
+# BENCH_perf.json would poison the perf trajectory. Set
+# SMT_PERF_ALLOW_ANY_BUILD=1 to bypass the check (local
+# experimentation only).
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -31,9 +35,22 @@ done
 
 if [ -z "$bench" ]; then
     echo "run_perf.sh: no bench_perf_throughput binary found;" >&2
-    echo "build first (Release recommended):" >&2
+    echo "build first (Release required):" >&2
     echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
     echo "  cmake --build build -j" >&2
+    exit 1
+fi
+
+build_type=$("$bench" --build-info | sed -n 's/^build_type=//p')
+if [ "$build_type" != "Release" ] &&
+   [ "${SMT_PERF_ALLOW_ANY_BUILD:-0}" != "1" ]; then
+    echo "run_perf.sh: '$bench' is a '${build_type:-unknown}'" \
+         "build, not Release; perf numbers from it would be" \
+         "meaningless." >&2
+    echo "Rebuild with:" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build build -j" >&2
+    echo "(or set SMT_PERF_ALLOW_ANY_BUILD=1 to override)" >&2
     exit 1
 fi
 

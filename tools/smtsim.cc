@@ -39,7 +39,10 @@
 
 #include "alloc/chip_arbiters.hh"
 #include "common/bits.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "prof/host_profiler.hh"
+#include "prof/prof_report.hh"
 #include "runner/result_sink.hh"
 #include "runner/runner.hh"
 #include "sim/simulator.hh"
@@ -58,6 +61,7 @@ usage()
     std::printf(
         "usage: smtsim [options]\n"
         "       smtsim sweep [sweep options]\n"
+        "       smtsim prof-report [--top N] FILE.prof.ndjson...\n"
         "\n"
         "single-run options:\n"
         "  --workload a,b,c     comma-separated benchmarks (1-%d)\n"
@@ -91,8 +95,20 @@ usage()
         "                       PREFIX.job0.ts.ndjson (time series)\n"
         "                       and PREFIX.job0.trace.json (Chrome\n"
         "                       trace, loadable in Perfetto)\n"
+        "  --ts-out PREFIX      record the time series alone:\n"
+        "                       PREFIX.job0.ts.ndjson, no event\n"
+        "                       trace file\n"
         "  --stats-interval N   cycles between telemetry samples\n"
-        "                       (default 10000; needs --trace-out)\n"
+        "                       (default 10000; needs --trace-out\n"
+        "                       or --ts-out)\n"
+        "  --prof PREFIX        host wall-clock profiling: sampled\n"
+        "                       stage/component attribution written\n"
+        "                       to PREFIX.job0.prof.ndjson (host\n"
+        "                       data, nondeterministic; simulation\n"
+        "                       results stay byte-identical). With\n"
+        "                       --trace-out, host spans are merged\n"
+        "                       into the Perfetto trace\n"
+        "  --prof-every N       host-time 1 in N ticks (default 64)\n"
         "  --json               emit the sweep JSON schema instead\n"
         "                       of the human report\n"
         "  --list-benchmarks    show available benchmarks\n"
@@ -139,10 +155,26 @@ usage()
         "                       PREFIX.job<i>.trace.json, named by\n"
         "                       the deterministic job order); bumps\n"
         "                       the JSON schema to smtsim-sweep-v2\n"
+        "  --ts-out PREFIX      per-job time series alone (no event\n"
+        "                       trace files); also schema v2\n"
         "  --stats-interval N   cycles between telemetry samples\n"
-        "                       (default 10000; needs --trace-out)\n"
+        "                       (default 10000; needs --trace-out\n"
+        "                       or --ts-out)\n"
+        "  --prof PREFIX        host wall-clock profiling sidecars:\n"
+        "                       PREFIX.job<i>.prof.ndjson per job\n"
+        "                       plus PREFIX.runner.prof.ndjson\n"
+        "                       (job wall/queue times, baseline-\n"
+        "                       cache contention); deterministic\n"
+        "                       outputs are unchanged\n"
+        "  --prof-every N       host-time 1 in N ticks (default 64)\n"
         "  --format F           table | csv | json (default table)\n"
         "  --output FILE        write to FILE instead of stdout\n"
+        "\n"
+        "prof-report: aggregate one or more .prof.ndjson sidecars\n"
+        "(from --prof) into a table: top host-time scopes, wavefront\n"
+        "gate waits and per-worker utilization, job wall-time\n"
+        "percentiles, baseline-cache contention. --top N limits the\n"
+        "scope table (default 20).\n"
         "\n"
         "sweep fault tolerance (see README 'Fault tolerance'):\n"
         "  --journal FILE       append one durable NDJSON record per\n"
@@ -596,6 +628,18 @@ sweepMain(int argc, char **argv)
             }
         } else if (arg == "--trace-out") {
             spec.telemetry.tracePrefix = next();
+        } else if (arg == "--ts-out") {
+            spec.telemetry.tsPrefix = next();
+        } else if (arg == "--prof") {
+            spec.prof.prefix = next();
+        } else if (arg == "--prof-every") {
+            spec.prof.sampleEvery =
+                std::strtoull(next(), nullptr, 10);
+            if (spec.prof.sampleEvery < 1) {
+                std::fprintf(stderr,
+                             "error: --prof-every wants N >= 1\n");
+                return 1;
+            }
         } else if (arg == "--stats-interval") {
             statsInterval = std::strtoull(next(), nullptr, 10);
             if (statsInterval < 1) {
@@ -663,9 +707,10 @@ sweepMain(int argc, char **argv)
     }
     ropts.faults = FaultPlan::fromEnv();
 
-    if (statsInterval > 0 && spec.telemetry.tracePrefix.empty()) {
+    if (statsInterval > 0 && !spec.telemetry.enabled()) {
         std::fprintf(stderr, "error: --stats-interval needs "
-                     "--trace-out (nowhere to write samples)\n");
+                     "--trace-out or --ts-out (nowhere to write "
+                     "samples)\n");
         return 1;
     }
     if (spec.telemetry.enabled())
@@ -802,9 +847,16 @@ sweepMain(int argc, char **argv)
         !probeWritable(ropts.journalPath, "--journal"))
         return 1;
     if (spec.telemetry.enabled() &&
-        !probeWritable(telemetryFileBase(spec.telemetry.tracePrefix,
-                                         0) + ".ts.ndjson",
-                       "--trace-out"))
+        !probeWritable(
+            telemetryFileBase(spec.telemetry.tsOutPrefix(), 0) +
+                ".ts.ndjson",
+            spec.telemetry.tsPrefix.empty() ? "--trace-out"
+                                            : "--ts-out"))
+        return 1;
+    if (spec.prof.enabled() &&
+        !probeWritable(profFileBase(spec.prof.prefix, 0) +
+                           ".prof.ndjson",
+                       "--prof"))
         return 1;
 
     SweepRunner runner(std::move(spec), jobs, nullptr,
@@ -829,6 +881,53 @@ sweepMain(int argc, char **argv)
     return 0;
 }
 
+/** `smtsim prof-report FILE...`: aggregate --prof sidecars. */
+int
+profReportMain(int argc, char **argv)
+{
+    ProfReportOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc)
+                fatal("missing value for --top");
+            opts.topScopes = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 10));
+            if (opts.topScopes < 1) {
+                std::fprintf(stderr,
+                             "error: --top wants N >= 1\n");
+                return 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "unknown prof-report option '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "error: prof-report wants at least one "
+                     ".prof.ndjson file (from --prof)\n");
+        return 1;
+    }
+    std::string out;
+    std::string err;
+    if (!renderProfReport(paths, opts, out, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -836,6 +935,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return sweepMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "prof-report") == 0)
+        return profReportMain(argc - 2, argv + 2);
 
     std::vector<std::string> workload = {"gzip", "twolf"};
     PolicyKind policy = PolicyKind::Dcra;
@@ -843,6 +944,9 @@ main(int argc, char **argv)
     std::uint64_t warmup = 10'000;
     bool jsonOut = false;
     std::string traceOut;
+    std::string tsOut;
+    std::string profOut;
+    std::uint64_t profEvery = 64;
     std::uint64_t statsInterval = 0;
     SimConfig cfg;
 
@@ -924,6 +1028,17 @@ main(int argc, char **argv)
             }
         } else if (arg == "--trace-out") {
             traceOut = next();
+        } else if (arg == "--ts-out") {
+            tsOut = next();
+        } else if (arg == "--prof") {
+            profOut = next();
+        } else if (arg == "--prof-every") {
+            profEvery = std::strtoull(next(), nullptr, 10);
+            if (profEvery < 1) {
+                std::fprintf(stderr,
+                             "error: --prof-every wants N >= 1\n");
+                return 1;
+            }
         } else if (arg == "--stats-interval") {
             statsInterval = std::strtoull(next(), nullptr, 10);
             if (statsInterval < 1) {
@@ -979,21 +1094,28 @@ main(int argc, char **argv)
     if (!validateBenches(workload, shape))
         return 1;
 
-    if (statsInterval > 0 && traceOut.empty()) {
+    if (statsInterval > 0 && traceOut.empty() && tsOut.empty()) {
         std::fprintf(stderr, "error: --stats-interval needs "
-                     "--trace-out (nowhere to write samples)\n");
+                     "--trace-out or --ts-out (nowhere to write "
+                     "samples)\n");
         return 1;
     }
     const Cycle interval = statsInterval ? statsInterval : 10'000;
-    if (!traceOut.empty() &&
-        !probeWritable(telemetryFileBase(traceOut, 0) + ".ts.ndjson",
-                       "--trace-out"))
+    const std::string tsOutPrefix = tsOut.empty() ? traceOut : tsOut;
+    if (!tsOutPrefix.empty() &&
+        !probeWritable(telemetryFileBase(tsOutPrefix, 0) +
+                           ".ts.ndjson",
+                       tsOut.empty() ? "--trace-out" : "--ts-out"))
+        return 1;
+    if (!profOut.empty() &&
+        !probeWritable(profFileBase(profOut, 0) + ".prof.ndjson",
+                       "--prof"))
         return 1;
 
     if (jsonOut) {
         // A single run is a one-job sweep; the runner gives it the
-        // exact same JSON schema a sweep emits (telemetry included:
-        // the sidecar files are PREFIX.job0.*).
+        // exact same JSON schema a sweep emits (telemetry and host
+        // profiling included: the sidecar files are PREFIX.job0.*).
         SweepSpec spec;
         spec.name = "cli-run";
         spec.base = cfg;
@@ -1003,39 +1125,78 @@ main(int argc, char **argv)
         spec.computeHmean = false;
         spec.workloads = {adHocWorkload(workload)};
         spec.policies = {policy};
-        if (!traceOut.empty()) {
-            spec.telemetry.tracePrefix = traceOut;
+        spec.telemetry.tracePrefix = traceOut;
+        spec.telemetry.tsPrefix = tsOut;
+        if (spec.telemetry.enabled())
             spec.telemetry.statsInterval = interval;
-        }
+        spec.prof.prefix = profOut;
+        spec.prof.sampleEvery = profEvery;
         SweepRunner runner(std::move(spec), 1);
         const SweepResults results = runner.run();
         return emitOutput(JsonSink().render(results), "");
     }
 
     std::unique_ptr<TelemetryHub> hub;
-    if (!traceOut.empty())
+    if (!tsOutPrefix.empty())
         hub = std::make_unique<TelemetryHub>(interval);
+    std::unique_ptr<HostProfiler> hprof;
+    if (!profOut.empty()) {
+        hprof = std::make_unique<HostProfiler>(profEvery);
+        hprof->enableSpans(!traceOut.empty());
+    }
+    const std::uint64_t runT0 = hprof ? hprof->nowNs() : 0;
 
     SimResult r;
     if (cfg.soc.numCores > 1) {
         ChipSimulator chip(cfg, workload, policy);
         if (hub)
             chip.setTelemetry(hub.get());
+        if (hprof)
+            chip.setHostProfiler(hprof.get());
         r = chip.run(commits, 100'000'000, warmup);
     } else {
         Simulator sim(cfg, workload, policy);
         if (hub)
             sim.setTelemetry(hub.get());
+        if (hprof)
+            sim.setHostProfiler(hprof.get());
         r = sim.run(commits, 100'000'000, warmup);
     }
-    if (hub) {
-        if (!writeTelemetryFiles(*hub,
-                                 telemetryFileBase(traceOut, 0)))
+    if (hprof) {
+        hprof->record("{\"type\": \"run\", \"wallNs\": " +
+                      fmtU64(hprof->nowNs() - runT0) + "}");
+        if (!writeHostProfile(*hprof, profFileBase(profOut, 0),
+                              "job0"))
             return 1;
-        std::printf("telemetry: %zu samples, %zu events -> "
-                    "%s.job0.{ts.ndjson,trace.json}\n",
-                    hub->sampleCount(), hub->eventCount(),
-                    traceOut.c_str());
+        std::printf("prof: %zu scopes, %zu records, %zu spans -> "
+                    "%s.job0.prof.ndjson (host wall-clock; "
+                    "nondeterministic)\n",
+                    hprof->scopeCount(), hprof->recordCount(),
+                    hprof->spanCount(), profOut.c_str());
+    }
+    if (hub) {
+        if (!writeTelemetryFiles(
+                *hub, telemetryFileBase(tsOutPrefix, 0),
+                traceOut.empty()
+                    ? std::string()
+                    : telemetryFileBase(traceOut, 0),
+                hprof ? hprof->chromeTraceEvents() : std::string()))
+            return 1;
+        if (traceOut.empty()) {
+            std::printf("telemetry: %zu samples -> "
+                        "%s.job0.ts.ndjson\n",
+                        hub->sampleCount(), tsOut.c_str());
+        } else if (tsOut.empty()) {
+            std::printf("telemetry: %zu samples, %zu events -> "
+                        "%s.job0.{ts.ndjson,trace.json}\n",
+                        hub->sampleCount(), hub->eventCount(),
+                        traceOut.c_str());
+        } else {
+            std::printf("telemetry: %zu samples, %zu events -> "
+                        "%s.job0.ts.ndjson, %s.job0.trace.json\n",
+                        hub->sampleCount(), hub->eventCount(),
+                        tsOut.c_str(), traceOut.c_str());
+        }
     }
 
     std::printf("policy=%s cycles=%llu throughput=%.3f mlp=%.2f\n",
