@@ -647,7 +647,7 @@ Pipeline::enqueueReady(InstHandle h)
     std::vector<ReadyEnt> &rl = rlist.v;
     // Dispatch-time insertions carry the newest stamp; wakeups may
     // land anywhere, so restore age order by stamp.
-    if (rlist.size() == 0 || rl.back().stamp < d.iqStamp) {
+    if (rlist.empty() || rl.back().stamp < d.iqStamp) {
         rl.push_back({d.iqStamp, h});
         return;
     }

@@ -397,6 +397,7 @@ class Pipeline
         std::size_t head = 0;
 
         std::size_t size() const { return v.size() - head; }
+        bool empty() const { return v.size() == head; }
     };
 
     ReadyList readyLists[numQueueClasses];

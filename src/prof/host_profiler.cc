@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "common/version.hh"
 
 namespace smt {
@@ -224,17 +225,13 @@ writeHostProfile(const HostProfiler &prof, const std::string &base,
     const std::string text = prof.renderNdjson(source);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr,
-                     "smtsim: cannot write host profile '%s'\n",
-                     path.c_str());
+        warn("cannot write host profile '%s'", path.c_str());
         return false;
     }
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size();
     if (std::fclose(f) != 0 || !ok) {
-        std::fprintf(stderr,
-                     "smtsim: failed writing host profile '%s'\n",
-                     path.c_str());
+        warn("failed writing host profile '%s'", path.c_str());
         return false;
     }
     return true;

@@ -84,11 +84,13 @@ BaselineCache::ipc(const SimConfig &cfg, const std::string &bench,
         }
     } else if (hostTiming) {
         waits.fetch_add(1, std::memory_order_relaxed);
+        // smtlint:allow(D1): --prof host timing; lands only in prof sidecars, never in deterministic output
         const auto t0 = std::chrono::steady_clock::now();
         fut.wait();
         waitNs.fetch_add(
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    // smtlint:allow(D1): --prof host timing, as above
                     std::chrono::steady_clock::now() - t0)
                     .count()),
             std::memory_order_relaxed);

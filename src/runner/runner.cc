@@ -183,6 +183,7 @@ SweepRunner::run()
     // Host timing (--prof): wall time per job plus its wait in the
     // scheduler queue, measured around the worker lambda. Purely
     // observational — no clock is read unless --prof asked for it.
+    // smtlint:allow(D1): --prof host timing; lands only in prof sidecars, never in deterministic output
     using SteadyClock = std::chrono::steady_clock;
     const bool profiling = spec.prof.enabled();
     if (profiling)

@@ -1,0 +1,25 @@
+// D1 positive fixture: every marked line leaks host state into the
+// run. Never compiled — lexed by smtlint in tests/test_lint.cc.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long long
+hostNowNs()
+{
+    const auto t = std::chrono::system_clock::now();
+    return t.time_since_epoch().count();
+}
+
+unsigned
+hostEntropy()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    return static_cast<unsigned>(std::rand());
+}
+
+const char *
+hostConfig()
+{
+    return std::getenv("SMT_FIXTURE");
+}

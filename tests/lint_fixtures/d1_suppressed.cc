@@ -1,0 +1,27 @@
+// D1 suppressed fixture: same host-state reads as d1_positive.cc,
+// each carrying an inline suppression with a reason. Must lint clean.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long long
+hostNowNs()
+{
+    // smtlint:allow(D1): fixture demonstrates a sanctioned host-time read
+    const auto t = std::chrono::system_clock::now();
+    return t.time_since_epoch().count();
+}
+
+unsigned
+hostEntropy()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr))); // smtlint:allow(D1): fixture, trailing-comment form
+    return static_cast<unsigned>(std::rand()); // smtlint:allow(D1): fixture
+}
+
+const char *
+hostConfig()
+{
+    // smtlint:allow(D1): fixture reads an opt-in debug knob
+    return std::getenv("SMT_FIXTURE");
+}

@@ -1,0 +1,25 @@
+// D2 positive fixture: direct float formatting that bypasses
+// fmtDouble/fmtDoubleExact (src/common/json.hh).
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+void
+emitPrintf(double ipc)
+{
+    std::printf("ipc=%.3f\n", ipc);
+}
+
+std::string
+emitToString(double ipc)
+{
+    return std::to_string(ipc);
+}
+
+std::string
+emitStream(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << v;
+    return os.str();
+}

@@ -1,0 +1,25 @@
+// D2 suppressed fixture: the same float formatting, annotated.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+void
+emitPrintf(double ipc)
+{
+    // smtlint:allow(D2): fixture; output is a human diagnostic, not a golden
+    std::printf("ipc=%.3f\n", ipc);
+}
+
+std::string
+emitToString(double ipc)
+{
+    return std::to_string(ipc); // smtlint:allow(D2): fixture, trailing-comment form
+}
+
+std::string
+emitStream(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << v; // smtlint:allow(D2): fixture
+    return os.str();
+}

@@ -1,0 +1,18 @@
+// D3 positive fixture: unordered-container iteration in a file that
+// emits output — the iteration order leaks into what gets printed.
+#include <cstdio>
+#include <unordered_map>
+
+void
+dump(const std::unordered_map<int, int> &stats)
+{
+    for (const auto &kv : stats)
+        std::printf("%d\n", kv.second);
+}
+
+int
+first(const std::unordered_map<int, int> &stats)
+{
+    const auto it = stats.begin();
+    return it == stats.end() ? 0 : it->second;
+}

@@ -1,0 +1,19 @@
+// D3 suppressed fixture: the same iteration, annotated (e.g. the
+// loop result is order-insensitive: a sum, a max, a set rebuild).
+#include <cstdio>
+#include <unordered_map>
+
+void
+dump(const std::unordered_map<int, int> &stats)
+{
+    // smtlint:allow(D3): fixture; order-insensitive aggregation
+    for (const auto &kv : stats)
+        std::printf("%d\n", kv.second);
+}
+
+int
+first(const std::unordered_map<int, int> &stats)
+{
+    const auto it = stats.begin(); // smtlint:allow(D3): fixture, trailing-comment form
+    return it == stats.end() ? 0 : it->second;
+}

@@ -1,0 +1,11 @@
+// D4 positive fixture: raw stderr writes that interleave mid-line
+// when --chip-jobs workers report concurrently.
+#include <cstdio>
+#include <iostream>
+
+void
+complain(const char *what)
+{
+    std::fprintf(stderr, "bad: %s\n", what);
+    std::cerr << "bad: " << what << "\n";
+}

@@ -1,0 +1,11 @@
+// D4 suppressed fixture: the same writes, annotated.
+#include <cstdio>
+#include <iostream>
+
+void
+complain(const char *what)
+{
+    // smtlint:allow(D4): fixture; single-threaded tool, no workers exist
+    std::fprintf(stderr, "bad: %s\n", what);
+    std::cerr << "bad: " << what << "\n"; // smtlint:allow(D4): fixture, trailing-comment form
+}

@@ -1,0 +1,14 @@
+// D5 positive fixture: volatile-as-synchronization and const-method
+// mutation through a non-atomic mutable member.
+struct Worker
+{
+    volatile bool stop = false;
+    mutable int cacheHits = 0;
+
+    int
+    lookup() const
+    {
+        ++cacheHits;
+        return cacheHits;
+    }
+};

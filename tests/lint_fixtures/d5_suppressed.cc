@@ -1,0 +1,20 @@
+// D5 suppressed fixture: annotated volatile, plus the sanctioned
+// forms (mutable std::atomic / std::mutex) that never fire.
+#include <atomic>
+#include <mutex>
+
+struct Worker
+{
+    volatile bool stop = false; // smtlint:allow(D5): fixture; memory-mapped-IO-style flag
+    mutable std::atomic<int> cacheHits{0};
+    mutable std::mutex mu;
+    // smtlint:allow(D5): fixture; guarded by mu in every const method
+    mutable int guardedHits = 0;
+
+    int
+    lookup() const
+    {
+        cacheHits.fetch_add(1, std::memory_order_relaxed);
+        return cacheHits.load(std::memory_order_relaxed);
+    }
+};

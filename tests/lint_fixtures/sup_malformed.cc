@@ -1,0 +1,9 @@
+// LINT fixture: a suppression without a reason is itself a finding,
+// and does NOT suppress — the D1 below must still fire.
+#include <cstdlib>
+
+const char *
+get()
+{
+    return std::getenv("X"); // smtlint:allow(D1)
+}

@@ -125,6 +125,7 @@ TEST(IssueWakeupGolden, FourThreadMixByteIdenticalToSeed)
 
 TEST(IssueWakeupGolden, PrintCurrent)
 {
+    // smtlint:allow(D1): opt-in golden-regeneration gate, prints to a human terminal only
     if (std::getenv("SMT_PRINT_WAKEUP_GOLDEN") == nullptr) {
         SUCCEED();
         return;

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for smtlint, the determinism-contract static analyzer.
+ *
+ * Drives the real binary (path baked in as SMTLINT_BIN by CMake)
+ * over the fixture files in tests/lint_fixtures/: one positive and
+ * one suppressed case per rule D1-D5, asserting the *exact* findings
+ * so message or line drift is caught, plus allowlist handling, rule
+ * selection, the malformed-suppression finding, a seeded-violation
+ * check, and the acceptance criterion itself — the repo tree lints
+ * clean with the checked-in allowlist.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string out; // stdout only; stderr discarded
+};
+
+/** Run smtlint with @p args, capturing stdout and the exit code. */
+LintRun
+runLint(const std::string &args)
+{
+    LintRun r;
+    const std::string cmd =
+        std::string(SMTLINT_BIN) + " " + args + " 2>/dev/null";
+    std::FILE *p = popen(cmd.c_str(), "r");
+    if (!p)
+        return r;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0)
+        r.out.append(buf, n);
+    const int status = pclose(p);
+    if (WIFEXITED(status))
+        r.exitCode = WEXITSTATUS(status);
+    return r;
+}
+
+/** Fixture-dir invocation: paths print relative to the fixture dir. */
+LintRun
+runOnFixture(const std::string &file,
+             const std::string &extra = "")
+{
+    return runLint("--root " SMT_LINT_FIXTURE_DIR
+                   " --allowlist none " +
+                   extra + file);
+}
+
+// ---------------------------------------------------------------------------
+// Positive fixtures: exact findings, nonzero exit
+// ---------------------------------------------------------------------------
+
+TEST(SmtLintD1, FiresOnHostStateReads)
+{
+    const LintRun r = runOnFixture("d1_positive.cc");
+    EXPECT_EQ(1, r.exitCode);
+    const std::string expected =
+        "d1_positive.cc:10: D1 'system_clock' leaks host state "
+        "(wall clock / randomness / environment / locale) into the "
+        "run; host timing belongs in src/prof/\n"
+        "d1_positive.cc:17: D1 'srand' leaks host state (wall clock "
+        "/ randomness / environment / locale) into the run; host "
+        "timing belongs in src/prof/\n"
+        "d1_positive.cc:17: D1 'time()' is host wall-clock/random "
+        "state; simulated time must come from the cycle counter, "
+        "seeds from common/random.hh\n"
+        "d1_positive.cc:18: D1 'rand()' is host wall-clock/random "
+        "state; simulated time must come from the cycle counter, "
+        "seeds from common/random.hh\n"
+        "d1_positive.cc:24: D1 'getenv' leaks host state (wall "
+        "clock / randomness / environment / locale) into the run; "
+        "host timing belongs in src/prof/\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+TEST(SmtLintD2, FiresOnDirectFloatFormatting)
+{
+    const LintRun r = runOnFixture("d2_positive.cc");
+    EXPECT_EQ(1, r.exitCode);
+    // The expected text spells the conversion as '.3f' (no percent
+    // sign): smtlint strips the '%' precisely so that lint messages
+    // and these assertions never themselves look like float
+    // formatting.
+    const std::string expected =
+        "d2_positive.cc:10: D2 float printf conversion '.3f' in a "
+        "format string; deterministic output must go through "
+        "fmtDouble/fmtDoubleExact (src/common/json.hh)\n"
+        "d2_positive.cc:16: D2 std::to_string on a float-typed "
+        "argument is locale-dependent; use fmtDouble/fmtDoubleExact "
+        "(src/common/json.hh)\n"
+        "d2_positive.cc:23: D2 stream float formatting ('fixed') "
+        "bypasses the fixed-format helpers in src/common/json.hh\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+TEST(SmtLintD3, FiresOnUnorderedIterationInEmittingFile)
+{
+    const LintRun r = runOnFixture("d3_positive.cc");
+    EXPECT_EQ(1, r.exitCode);
+    const std::string expected =
+        "d3_positive.cc:9: D3 range-for over unordered container "
+        "'stats' in an output-emitting file: iteration order is "
+        "host-dependent; sort or use an ordered container\n"
+        "d3_positive.cc:16: D3 iterator walk of unordered container "
+        "'stats' in an output-emitting file: iteration order is "
+        "host-dependent\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+TEST(SmtLintD4, FiresOnRawStderrWrites)
+{
+    const LintRun r = runOnFixture("d4_positive.cc");
+    EXPECT_EQ(1, r.exitCode);
+    const std::string expected =
+        "d4_positive.cc:9: D4 raw stderr write; --chip-jobs workers "
+        "interleave mid-line — route through the single-fwrite "
+        "helpers in src/common/logging.cc\n"
+        "d4_positive.cc:10: D4 std::cerr interleaves across worker "
+        "threads; route through src/common/logging.cc\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+TEST(SmtLintD5, FiresOnVolatileAndBareMutable)
+{
+    const LintRun r = runOnFixture("d5_positive.cc");
+    EXPECT_EQ(1, r.exitCode);
+    const std::string expected =
+        "d5_positive.cc:5: D5 volatile is not synchronization; use "
+        "std::atomic (TSan cannot see volatile races)\n"
+        "d5_positive.cc:6: D5 mutable member without "
+        "std::atomic/mutex type: mutation inside const methods is a "
+        "data race under --chip-jobs\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressed fixtures: inline allow comments carrying a reason
+// ---------------------------------------------------------------------------
+
+TEST(SmtLintSuppression, InlineAllowSilencesEachRule)
+{
+    for (const char *f :
+         {"d1_suppressed.cc", "d2_suppressed.cc", "d3_suppressed.cc",
+          "d4_suppressed.cc", "d5_suppressed.cc"}) {
+        const LintRun r = runOnFixture(f);
+        EXPECT_EQ(0, r.exitCode);
+        EXPECT_EQ("", r.out);
+    }
+}
+
+TEST(SmtLintSuppression, MissingReasonIsAFindingAndDoesNotSuppress)
+{
+    const LintRun r = runOnFixture("sup_malformed.cc");
+    EXPECT_EQ(1, r.exitCode);
+    const std::string expected =
+        "sup_malformed.cc:8: D1 'getenv' leaks host state (wall "
+        "clock / randomness / environment / locale) into the run; "
+        "host timing belongs in src/prof/\n"
+        "sup_malformed.cc:8: LINT smtlint:allow without a reason "
+        "(append ': <why>')\n";
+    EXPECT_EQ(expected, r.out);
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist and rule selection
+// ---------------------------------------------------------------------------
+
+TEST(SmtLintAllowlist, PathPrefixEntrySilencesAFile)
+{
+    const std::string path = "test_lint_allowlist_tmp.txt";
+    {
+        std::ofstream f(path);
+        f << "# temp allowlist written by test_lint\n"
+          << "d1_positive.cc D1\n";
+    }
+    const LintRun r = runLint("--root " SMT_LINT_FIXTURE_DIR
+                              " --allowlist " +
+                              path + " d1_positive.cc");
+    std::remove(path.c_str());
+    EXPECT_EQ(0, r.exitCode);
+    EXPECT_EQ("", r.out);
+}
+
+TEST(SmtLintAllowlist, EntryForOneRuleKeepsTheOthers)
+{
+    const std::string path = "test_lint_allowlist_tmp2.txt";
+    {
+        std::ofstream f(path);
+        f << "d4_positive.cc D1\n"; // wrong rule: D4 must survive
+    }
+    const LintRun r = runLint("--root " SMT_LINT_FIXTURE_DIR
+                              " --allowlist " +
+                              path + " d4_positive.cc");
+    std::remove(path.c_str());
+    EXPECT_EQ(1, r.exitCode);
+    EXPECT_NE(std::string::npos, r.out.find("D4 raw stderr write"));
+}
+
+TEST(SmtLintRules, SubsetSelectionDisablesTheRest)
+{
+    const LintRun r = runOnFixture("d1_positive.cc", "--rules D4 ");
+    EXPECT_EQ(0, r.exitCode);
+    EXPECT_EQ("", r.out);
+}
+
+TEST(SmtLintRules, ListRulesNamesAllFive)
+{
+    const LintRun r = runLint("--list-rules");
+    EXPECT_EQ(0, r.exitCode);
+    for (const char *id : {"D1", "D2", "D3", "D4", "D5"})
+        EXPECT_NE(std::string::npos, r.out.find(id));
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criteria themselves
+// ---------------------------------------------------------------------------
+
+/** The whole repo lints clean with the checked-in allowlist. */
+TEST(SmtLintTree, RepoIsCleanWithCheckedInAllowlist)
+{
+    const LintRun r = runLint("--root " SMT_LINT_SOURCE_ROOT);
+    EXPECT_EQ(r.out, ""); // findings (if any) make the failure readable
+    EXPECT_EQ(0, r.exitCode);
+}
+
+/** A seeded violation (the CI lint job's probe) is caught. */
+TEST(SmtLintTree, SeededViolationFails)
+{
+    const std::string path = "seeded_violation_tmp.cc";
+    {
+        std::ofstream f(path);
+        f << "#include <chrono>\n"
+          << "long long bad() {\n"
+          << "  return std::chrono::system_clock::now()\n"
+          << "      .time_since_epoch().count();\n"
+          << "}\n";
+    }
+    const LintRun r =
+        runLint("--root . --allowlist none " + path);
+    std::remove(path.c_str());
+    EXPECT_EQ(1, r.exitCode);
+    EXPECT_NE(std::string::npos,
+              r.out.find(path + ":3: D1 'system_clock'"));
+}
+
+} // anonymous namespace

@@ -595,6 +595,7 @@ runInChild(const std::function<void()> &fn, int &termSignal)
     std::fflush(nullptr);
     const pid_t pid = fork();
     if (pid == 0) {
+        // smtlint:allow(D4): redirecting the forked child's stderr, not writing to it
         if (!std::freopen("/dev/null", "w", stderr))
             _exit(97);
         fn();

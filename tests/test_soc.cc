@@ -330,6 +330,7 @@ diesWithAbort(Fn fn)
     std::fflush(nullptr);
     const pid_t pid = fork();
     if (pid == 0) {
+        // smtlint:allow(D4): redirecting the forked child's stderr, not writing to it
         if (!std::freopen("/dev/null", "w", stderr))
             _exit(97);
         fn();
@@ -587,6 +588,7 @@ TEST(TwoCoreChip, BitDeterministicAcrossRuns)
 
 TEST(TwoCoreChip, PrintCurrent)
 {
+    // smtlint:allow(D1): opt-in golden-regeneration gate, prints to a human terminal only
     if (std::getenv("SMT_PRINT_GOLDEN") == nullptr) {
         SUCCEED();
         return;

@@ -7,6 +7,8 @@
 #   tools/run_tests.sh --debug         # Debug build
 #   tools/run_tests.sh --shim          # force the vendored gtest shim
 #   tools/run_tests.sh --werror        # -Werror
+#   tools/run_tests.sh --lint          # also run smtlint (+ clang-tidy
+#                                      # when installed) like CI's lint job
 #   tools/run_tests.sh -- <ctest args> # extra args after -- go to ctest
 set -euo pipefail
 
@@ -14,6 +16,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_type=Release
 shim=OFF
 werror=OFF
+lint=OFF
 ctest_args=()
 
 while [[ $# -gt 0 ]]; do
@@ -22,6 +25,7 @@ while [[ $# -gt 0 ]]; do
       --release) build_type=Release ;;
       --shim) shim=ON ;;
       --werror) werror=ON ;;
+      --lint) lint=ON ;;
       --) shift; ctest_args=("$@"); break ;;
       *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
@@ -41,3 +45,18 @@ cmake --build "$build_dir" -j "$jobs"
 # error on bash < 4.4 (macOS ships 3.2).
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
     ${ctest_args[@]+"${ctest_args[@]}"}
+
+if [[ "$lint" == ON ]]; then
+    echo "== smtlint =="
+    cmake --build "$build_dir" -j "$jobs" --target smtlint
+    "$build_dir/smtlint" --root "$repo_root" \
+        --compdb "$build_dir/compile_commands.json" \
+        "$repo_root/src" "$repo_root/tools" "$repo_root/tests"
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        echo "== clang-tidy =="
+        run-clang-tidy -quiet -p "$build_dir" \
+            "$repo_root/(src|tools|tests)/.*\.cc$"
+    else
+        echo "clang-tidy not installed; skipping (CI runs it)" >&2
+    fi
+fi

@@ -1,0 +1,1055 @@
+/**
+ * @file
+ * smtlint — the repo's determinism-contract static analyzer.
+ *
+ * The simulator's crown jewel is byte-reproducibility: every golden,
+ * sweep, journal and telemetry byte is identical across --jobs and
+ * --chip-jobs worker counts, and host-time/nondeterminism is
+ * quarantined into src/prof/. That contract is enforced dynamically
+ * by the byte-diff CI jobs; smtlint enforces it *statically*, at
+ * review time, as named and individually suppressible rules:
+ *
+ *   D1  wall-clock / random / env / locale APIs (system_clock,
+ *       steady_clock, time(), rand(), getenv, setlocale, ...) —
+ *       host state leaking into simulated results.
+ *   D2  direct float formatting (printf float conversions in string
+ *       literals, std::to_string on a float-typed argument, stream
+ *       float manipulators, ostream << double) — all deterministic
+ *       output must route through fmtDouble/fmtDoubleExact/fmtU64
+ *       in src/common/json.hh.
+ *   D3  range-for / iterator loops over unordered_map/unordered_set
+ *       in files that emit output (iteration order is host- and
+ *       libstdc++-version-dependent).
+ *   D4  raw stderr writes (fprintf(stderr, ...), std::cerr) outside
+ *       src/common/logging.cc — --chip-jobs workers interleave
+ *       mid-line; logging.cc emits whole lines with one fwrite.
+ *   D5  volatile-as-synchronization and mutable data members that
+ *       are not std::atomic/mutex (cheap race heuristic that
+ *       complements TSan, it does not replace it).
+ *
+ * Deliberately a lightweight tokenizer, not a compiler frontend: it
+ * builds offline with zero dependencies, lexes comments / string
+ * literals / identifiers correctly, and accepts a small false-match
+ * rate in exchange. Escape hatches, both requiring a reason:
+ *
+ *   - inline:    // smtlint:allow(D1,D2): <why this line is fine>
+ *     (suppresses findings on its own line, or on the next line
+ *     when the comment stands alone)
+ *   - allowlist: tools/smtlint/allowlist.txt path-prefix entries
+ *     for whole files/directories that own a contract exemption.
+ *
+ * Findings print "file:line: RULE message" on stdout and the exit
+ * code is 1 when any unsuppressed finding exists (2 on usage/IO
+ * errors), so CI can gate on it directly.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Tok
+{
+    enum Kind { Ident, Num, Str, Chr, Punct };
+    Kind kind;
+    std::string text; // string literals hold the *content*, unquoted
+    int line;
+};
+
+struct Suppression
+{
+    int commentLine = 0;   // line the comment itself sits on
+    std::set<std::string> rules;
+    bool hasReason = false;
+    bool malformed = false; // recognized smtlint: marker, bad syntax
+};
+
+struct LexedFile
+{
+    std::string path;      // root-relative, forward slashes
+    std::vector<Tok> toks;
+    std::vector<Suppression> sups;
+    std::set<int> codeLines; // lines that carry at least one token
+};
+
+bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+/** Parse a "smtlint:allow(D1,D2): reason" marker out of comment text. */
+void
+parseSuppression(const std::string &comment, int line,
+                 std::vector<Suppression> &out)
+{
+    const std::size_t at = comment.find("smtlint:allow");
+    if (at == std::string::npos)
+        return;
+    Suppression s;
+    s.commentLine = line;
+    std::size_t i = at + std::strlen("smtlint:allow");
+    if (i >= comment.size() || comment[i] != '(') {
+        s.malformed = true;
+        out.push_back(s);
+        return;
+    }
+    const std::size_t close = comment.find(')', i);
+    if (close == std::string::npos) {
+        s.malformed = true;
+        out.push_back(s);
+        return;
+    }
+    std::string rules = comment.substr(i + 1, close - i - 1);
+    std::string cur;
+    for (const char c : rules + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                s.rules.insert(cur);
+            cur.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur += c;
+        }
+    }
+    // A reason is mandatory: "): <non-empty text>".
+    std::size_t r = close + 1;
+    if (r < comment.size() && comment[r] == ':') {
+        ++r;
+        while (r < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[r])))
+            ++r;
+        s.hasReason = r < comment.size();
+    }
+    if (s.rules.empty())
+        s.malformed = true;
+    out.push_back(s);
+}
+
+/** Lex one file: tokens, comments scanned for suppressions. */
+LexedFile
+lexFile(const std::string &relPath, const std::string &src)
+{
+    LexedFile f;
+    f.path = relPath;
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto push = [&](Tok::Kind k, std::string text) {
+        f.toks.push_back(Tok{k, std::move(text), line});
+        f.codeLines.insert(line);
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t e = src.find('\n', i);
+            if (e == std::string::npos)
+                e = n;
+            parseSuppression(src.substr(i, e - i), line, f.sups);
+            i = e;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            const std::size_t e = src.find("*/", i + 2);
+            const std::size_t stop = e == std::string::npos ? n : e + 2;
+            parseSuppression(src.substr(i, stop - i), line, f.sups);
+            for (std::size_t k = i; k < stop; ++k)
+                if (src[k] == '\n')
+                    ++line;
+            i = stop;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t d = i + 2;
+            while (d < n && src[d] != '(')
+                ++d;
+            const std::string delim =
+                ")" + src.substr(i + 2, d - i - 2) + "\"";
+            const std::size_t e = src.find(delim, d);
+            const std::size_t stop =
+                e == std::string::npos ? n : e + delim.size();
+            push(Tok::Str, src.substr(d + 1, e == std::string::npos
+                                                 ? n - d - 1
+                                                 : e - d - 1));
+            for (std::size_t k = i; k < stop; ++k)
+                if (src[k] == '\n')
+                    ++line;
+            i = stop;
+            continue;
+        }
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            const char q = c;
+            std::string content;
+            std::size_t k = i + 1;
+            while (k < n && src[k] != q) {
+                if (src[k] == '\\' && k + 1 < n) {
+                    content += src[k];
+                    content += src[k + 1];
+                    k += 2;
+                } else {
+                    if (src[k] == '\n')
+                        ++line; // unterminated; stay sane
+                    content += src[k];
+                    ++k;
+                }
+            }
+            push(q == '"' ? Tok::Str : Tok::Chr, content);
+            i = k + 1;
+            continue;
+        }
+        // Number (handles 1'000'000 digit separators, hex, exponents
+        // and suffixes so the `'` separators are not read as char
+        // literals).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t k = i;
+            while (k < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[k])) ||
+                    src[k] == '.' || src[k] == '\'' ||
+                    ((src[k] == '+' || src[k] == '-') && k > i &&
+                     (src[k - 1] == 'e' || src[k - 1] == 'E' ||
+                      src[k - 1] == 'p' || src[k - 1] == 'P'))))
+                ++k;
+            push(Tok::Num, src.substr(i, k - i));
+            i = k;
+            continue;
+        }
+        // Identifier.
+        if (isIdentStart(c)) {
+            std::size_t k = i;
+            while (k < n && isIdentChar(src[k]))
+                ++k;
+            push(Tok::Ident, src.substr(i, k - i));
+            i = k;
+            continue;
+        }
+        // Punctuation; '::', '<<', '>>', '->' kept as one token.
+        if (i + 1 < n) {
+            const char d = src[i + 1];
+            if ((c == ':' && d == ':') || (c == '<' && d == '<') ||
+                (c == '>' && d == '>') || (c == '-' && d == '>')) {
+                push(Tok::Punct, src.substr(i, 2));
+                i += 2;
+                continue;
+            }
+        }
+        push(Tok::Punct, std::string(1, c));
+        ++i;
+    }
+    return f;
+}
+
+// ---------------------------------------------------------------------------
+// Findings, suppressions, allowlist
+// ---------------------------------------------------------------------------
+
+struct Finding
+{
+    std::string file;
+    int line;
+    std::string rule;
+    std::string message;
+
+    bool operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+struct AllowEntry
+{
+    std::string prefix; // root-relative path prefix
+    std::set<std::string> rules; // empty = all rules
+};
+
+const char *const kRuleIds[] = {"D1", "D2", "D3", "D4", "D5"};
+
+bool
+isKnownRule(const std::string &r)
+{
+    for (const char *k : kRuleIds)
+        if (r == k)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables
+// ---------------------------------------------------------------------------
+
+// D1: banned wherever they appear as an identifier.
+const std::set<std::string> kD1Bare = {
+    "system_clock",   "steady_clock",  "high_resolution_clock",
+    "gettimeofday",   "clock_gettime", "localtime",
+    "localtime_r",    "gmtime",        "gmtime_r",
+    "strftime",       "mktime",        "getenv",
+    "secure_getenv",  "setenv",        "putenv",
+    "unsetenv",       "setlocale",     "srand",
+    "srandom",        "drand48",       "random_device",
+};
+
+// D1: banned only as a direct call (short names would otherwise
+// false-match member functions and locals).
+const std::set<std::string> kD1Call = {"time", "clock", "rand", "random"};
+
+// D5: a mutable member is fine when its type is a synchronization or
+// atomic primitive; anything else is mutation hidden behind const.
+const std::set<std::string> kD5SyncTypes = {
+    "atomic",          "atomic_flag",  "mutex",
+    "shared_mutex",    "timed_mutex",  "recursive_mutex",
+    "once_flag",       "condition_variable",
+    "condition_variable_any",
+};
+
+// D3 fires only in files that plausibly emit output or feed sinks.
+const std::set<std::string> kOutputMarkers = {
+    "printf",   "fprintf",     "snprintf",  "vsnprintf", "fwrite",
+    "fputs",    "ostream",     "ofstream",  "ostringstream",
+    "stringstream", "ResultSink", "TelemetryHub", "render",
+    "fmtDouble", "fmtDoubleExact", "fmtU64", "hexU64", "jsonEscape",
+};
+
+// ---------------------------------------------------------------------------
+// Rule evaluation
+// ---------------------------------------------------------------------------
+
+/**
+ * Scan a string literal's content for a printf float conversion.
+ * Returns the spec (without the leading percent) or "" when none.
+ */
+std::string
+findFloatConversion(const std::string &s)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%')
+            continue;
+        std::size_t j = i + 1;
+        if (j < s.size() && s[j] == '%') {
+            i = j;
+            continue;
+        }
+        const std::size_t start = j;
+        while (j < s.size() && std::strchr("-+ #0'", s[j]))
+            ++j;
+        while (j < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                s[j] == '*'))
+            ++j;
+        if (j < s.size() && s[j] == '.') {
+            ++j;
+            while (j < s.size() &&
+                   (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                    s[j] == '*'))
+                ++j;
+        }
+        while (j < s.size() && std::strchr("lhLqjzt", s[j]))
+            ++j;
+        if (j < s.size() && std::strchr("fFgGeEaA", s[j]))
+            return s.substr(start, j - start + 1);
+    }
+    return "";
+}
+
+/** True when the numeric literal text is a floating constant. */
+bool
+isFloatLiteral(const std::string &t)
+{
+    if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X'))
+        return t.find('p') != std::string::npos ||
+               t.find('P') != std::string::npos;
+    return t.find('.') != std::string::npos ||
+           t.find('e') != std::string::npos ||
+           t.find('E') != std::string::npos;
+}
+
+struct FileAnalysis
+{
+    std::set<std::string> floatIdents;     // declared double/float
+    std::set<std::string> unorderedTypes;  // unordered_* + aliases
+    std::set<std::string> unorderedVars;   // variables of those types
+    bool emitsOutput = false;
+};
+
+/** Skip a balanced <...> template argument list; t at '<'. */
+std::size_t
+skipAngles(const std::vector<Tok> &toks, std::size_t t)
+{
+    int depth = 0;
+    for (; t < toks.size(); ++t) {
+        const std::string &x = toks[t].text;
+        if (toks[t].kind != Tok::Punct)
+            continue;
+        if (x == "<")
+            ++depth;
+        else if (x == ">")
+            --depth;
+        else if (x == ">>")
+            depth -= 2;
+        else if (x == ";")
+            return t; // runaway (comparison, not template)
+        if (depth <= 0)
+            return t + 1;
+    }
+    return t;
+}
+
+FileAnalysis
+analyzeFile(const LexedFile &f)
+{
+    FileAnalysis a;
+    a.unorderedTypes = {"unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset"};
+    const std::vector<Tok> &ts = f.toks;
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+        if (ts[t].kind != Tok::Ident)
+            continue;
+        const std::string &x = ts[t].text;
+        if (kOutputMarkers.count(x))
+            a.emitsOutput = true;
+        // `double ident` / `float ident` declarations (also catches
+        // double-returning function declarations, which is what we
+        // want: to_string(f()) on such an f is a float conversion).
+        if (x == "double" || x == "float") {
+            std::size_t k = t + 1;
+            while (k < ts.size() &&
+                   (ts[k].text == "*" || ts[k].text == "&" ||
+                    ts[k].text == "const"))
+                ++k;
+            if (k < ts.size() && ts[k].kind == Tok::Ident)
+                a.floatIdents.insert(ts[k].text);
+            continue;
+        }
+        // `using Alias = ... unordered_map<...> ...;`
+        if (x == "using" && t + 2 < ts.size() &&
+            ts[t + 1].kind == Tok::Ident && ts[t + 2].text == "=") {
+            for (std::size_t k = t + 3;
+                 k < ts.size() && ts[k].text != ";"; ++k) {
+                if (ts[k].kind == Tok::Ident &&
+                    a.unorderedTypes.count(ts[k].text)) {
+                    a.unorderedTypes.insert(ts[t + 1].text);
+                    break;
+                }
+            }
+            continue;
+        }
+        // `unordered_map<K, V> name` declarations.
+        if (a.unorderedTypes.count(x)) {
+            std::size_t k = t + 1;
+            if (k < ts.size() && ts[k].text == "<")
+                k = skipAngles(ts, k);
+            while (k < ts.size() &&
+                   (ts[k].text == "*" || ts[k].text == "&" ||
+                    ts[k].text == "const"))
+                ++k;
+            if (k < ts.size() && ts[k].kind == Tok::Ident)
+                a.unorderedVars.insert(ts[k].text);
+        }
+    }
+    return a;
+}
+
+void
+runRules(const LexedFile &f, const FileAnalysis &a,
+         const std::set<std::string> &enabled,
+         std::vector<Finding> &out)
+{
+    const std::vector<Tok> &ts = f.toks;
+
+    auto add = [&](const std::string &rule, int line,
+                   const std::string &msg) {
+        if (enabled.count(rule))
+            out.push_back(Finding{f.path, line, rule, msg});
+    };
+
+    auto prevIs = [&](std::size_t t, const char *p) {
+        return t > 0 && ts[t - 1].text == p;
+    };
+
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+        const Tok &tok = ts[t];
+
+        // ---- D2: float conversions inside string literals --------
+        if (tok.kind == Tok::Str) {
+            const std::string spec = findFloatConversion(tok.text);
+            if (!spec.empty())
+                add("D2", tok.line,
+                    "float printf conversion '" + spec +
+                        "' in a format string; deterministic output "
+                        "must go through fmtDouble/fmtDoubleExact "
+                        "(src/common/json.hh)");
+            continue;
+        }
+        if (tok.kind != Tok::Ident && tok.kind != Tok::Punct)
+            continue;
+
+        // Member access never refers to the global API: obj.time().
+        const bool memberAccess = prevIs(t, ".") || prevIs(t, "->");
+
+        if (tok.kind == Tok::Ident && !memberAccess) {
+            const std::string &x = tok.text;
+            const bool called =
+                t + 1 < ts.size() && ts[t + 1].text == "(";
+
+            // ---- D1: host clock / random / env / locale ----------
+            if (kD1Bare.count(x)) {
+                add("D1", tok.line,
+                    "'" + x + "' leaks host state (wall clock / "
+                    "randomness / environment / locale) into the "
+                    "run; host timing belongs in src/prof/");
+            } else if (kD1Call.count(x) && called) {
+                // Qualified foo::time() for a non-std namespace is
+                // someone else's symbol.
+                bool otherNamespace = false;
+                if (prevIs(t, "::") && t >= 2 &&
+                    ts[t - 2].kind == Tok::Ident &&
+                    ts[t - 2].text != "std")
+                    otherNamespace = true;
+                if (!otherNamespace)
+                    add("D1", tok.line,
+                        "'" + x + "()' is host wall-clock/random "
+                        "state; simulated time must come from the "
+                        "cycle counter, seeds from common/random.hh");
+            }
+
+            // ---- D2: to_string on a float, stream manipulators ---
+            if (x == "to_string" && called) {
+                int depth = 0;
+                for (std::size_t k = t + 1; k < ts.size(); ++k) {
+                    if (ts[k].text == "(")
+                        ++depth;
+                    else if (ts[k].text == ")" && --depth == 0)
+                        break;
+                    const bool isFloatArg =
+                        (ts[k].kind == Tok::Ident &&
+                         a.floatIdents.count(ts[k].text)) ||
+                        (ts[k].kind == Tok::Num &&
+                         isFloatLiteral(ts[k].text));
+                    if (isFloatArg) {
+                        add("D2", tok.line,
+                            "std::to_string on a float-typed "
+                            "argument is locale-dependent; use "
+                            "fmtDouble/fmtDoubleExact "
+                            "(src/common/json.hh)");
+                        break;
+                    }
+                }
+            }
+            if (x == "setprecision" || x == "hexfloat" ||
+                ((x == "fixed" || x == "scientific" ||
+                  x == "defaultfloat") &&
+                 prevIs(t, "::") && t >= 2 && ts[t - 2].text == "std")) {
+                add("D2", tok.line,
+                    "stream float formatting ('" + x + "') bypasses "
+                    "the fixed-format helpers in src/common/json.hh");
+            }
+
+            // ---- D4: raw stderr ----------------------------------
+            if (x == "stderr")
+                add("D4", tok.line,
+                    "raw stderr write; --chip-jobs workers "
+                    "interleave mid-line — route through the "
+                    "single-fwrite helpers in src/common/logging.cc");
+            if (x == "cerr")
+                add("D4", tok.line,
+                    "std::cerr interleaves across worker threads; "
+                    "route through src/common/logging.cc");
+
+            // ---- D5: volatile / mutable --------------------------
+            if (x == "volatile")
+                add("D5", tok.line,
+                    "volatile is not synchronization; use "
+                    "std::atomic (TSan cannot see volatile races)");
+            if (x == "mutable") {
+                bool sync = false;
+                for (std::size_t k = t + 1;
+                     k < ts.size() && k < t + 16 && ts[k].text != ";";
+                     ++k)
+                    if (ts[k].kind == Tok::Ident &&
+                        kD5SyncTypes.count(ts[k].text)) {
+                        sync = true;
+                        break;
+                    }
+                if (!sync)
+                    add("D5", tok.line,
+                        "mutable member without std::atomic/mutex "
+                        "type: mutation inside const methods is a "
+                        "data race under --chip-jobs");
+            }
+
+            // ---- D3: iteration over unordered containers ---------
+            if (a.emitsOutput && x == "for" && t + 1 < ts.size() &&
+                ts[t + 1].text == "(") {
+                int depth = 0;
+                std::size_t colon = 0, close = 0;
+                for (std::size_t k = t + 1; k < ts.size(); ++k) {
+                    if (ts[k].text == "(")
+                        ++depth;
+                    else if (ts[k].text == ")" && --depth == 0) {
+                        close = k;
+                        break;
+                    } else if (ts[k].text == ":" && depth == 1 &&
+                               !colon)
+                        colon = k;
+                }
+                if (colon && close)
+                    for (std::size_t k = colon + 1; k < close; ++k)
+                        if (ts[k].kind == Tok::Ident &&
+                            a.unorderedVars.count(ts[k].text)) {
+                            add("D3", ts[k].line,
+                                "range-for over unordered container "
+                                "'" + ts[k].text + "' in an "
+                                "output-emitting file: iteration "
+                                "order is host-dependent; sort or "
+                                "use an ordered container");
+                            break;
+                        }
+            }
+            if (a.emitsOutput && a.unorderedVars.count(x) &&
+                t + 2 < ts.size() &&
+                (ts[t + 1].text == "." || ts[t + 1].text == "->") &&
+                (ts[t + 2].text == "begin" ||
+                 ts[t + 2].text == "cbegin"))
+                add("D3", tok.line,
+                    "iterator walk of unordered container '" + x +
+                        "' in an output-emitting file: iteration "
+                        "order is host-dependent");
+        }
+    }
+
+    // Malformed suppressions are findings themselves: a suppression
+    // that silently failed to parse would hide real violations.
+    for (const Suppression &s : f.sups) {
+        if (s.malformed) {
+            out.push_back(Finding{
+                f.path, s.commentLine, "LINT",
+                "malformed smtlint:allow marker (expected "
+                "smtlint:allow(D1[,D2...]): reason)"});
+            continue;
+        }
+        if (!s.hasReason)
+            out.push_back(Finding{f.path, s.commentLine, "LINT",
+                                  "smtlint:allow without a reason "
+                                  "(append ': <why>')"});
+        for (const std::string &r : s.rules)
+            if (!isKnownRule(r))
+                out.push_back(Finding{f.path, s.commentLine, "LINT",
+                                      "unknown rule '" + r +
+                                          "' in smtlint:allow"});
+    }
+}
+
+/** Drop findings covered by inline suppressions or the allowlist. */
+std::vector<Finding>
+filterFindings(const std::vector<Finding> &raw, const LexedFile &f,
+               const std::vector<AllowEntry> &allow)
+{
+    // A suppression on a comment-only line covers the next line.
+    std::map<int, std::set<std::string>> byLine;
+    for (const Suppression &s : f.sups) {
+        if (s.malformed || !s.hasReason)
+            continue;
+        const int effective = f.codeLines.count(s.commentLine)
+                                  ? s.commentLine
+                                  : s.commentLine + 1;
+        byLine[effective].insert(s.rules.begin(), s.rules.end());
+    }
+
+    std::vector<Finding> kept;
+    for (const Finding &fd : raw) {
+        if (fd.rule != "LINT") {
+            const auto it = byLine.find(fd.line);
+            if (it != byLine.end() && it->second.count(fd.rule))
+                continue;
+            bool allowed = false;
+            for (const AllowEntry &e : allow)
+                if (fd.file.rfind(e.prefix, 0) == 0 &&
+                    (e.rules.empty() || e.rules.count(fd.rule))) {
+                    allowed = true;
+                    break;
+                }
+            if (allowed)
+                continue;
+        }
+        kept.push_back(fd);
+    }
+    return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Inputs: allowlist file, compile_commands.json, directory walk
+// ---------------------------------------------------------------------------
+
+bool
+loadAllowlist(const std::string &path, std::vector<AllowEntry> &out,
+              std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot read allowlist '" + path + "'";
+        return false;
+    }
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ss(line);
+        AllowEntry e;
+        std::string rules;
+        if (!(ss >> e.prefix))
+            continue;
+        if (ss >> rules) {
+            std::string cur;
+            for (const char c : rules + ",") {
+                if (c == ',') {
+                    if (!cur.empty()) {
+                        if (!isKnownRule(cur) && cur != "LINT") {
+                            err = path + ":" +
+                                  std::to_string(lineNo) +
+                                  ": unknown rule '" + cur + "'";
+                            return false;
+                        }
+                        e.rules.insert(cur);
+                    }
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+        }
+        out.push_back(e);
+    }
+    return true;
+}
+
+/** Pull the "file" entries out of a compile_commands.json. */
+bool
+loadCompdb(const std::string &path, std::vector<std::string> &out,
+           std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot read compile database '" + path + "'";
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string key = "\"file\"";
+    std::size_t i = 0;
+    while ((i = text.find(key, i)) != std::string::npos) {
+        std::size_t q = text.find('"', i + key.size() + 1);
+        if (q == std::string::npos)
+            break;
+        std::string val;
+        for (++q; q < text.size() && text[q] != '"'; ++q) {
+            if (text[q] == '\\' && q + 1 < text.size())
+                val += text[++q];
+            else
+                val += text[q];
+        }
+        out.push_back(val);
+        i = q;
+    }
+    return true;
+}
+
+bool
+hasSourceExtension(const fs::path &p)
+{
+    const std::string e = p.extension().string();
+    return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h" ||
+           e == ".hpp" || e == ".cxx";
+}
+
+/** Default exclusions for the recursive walk (never for explicit
+ * file arguments): build trees, git metadata, and the deliberately
+ * violating lint fixtures. */
+bool
+isExcludedDir(const std::string &name)
+{
+    return name == ".git" || name.rfind("build", 0) == 0 ||
+           name == "lint_fixtures";
+}
+
+void
+walk(const fs::path &dir, std::vector<fs::path> &out)
+{
+    std::vector<fs::path> entries;
+    for (const auto &e : fs::directory_iterator(dir))
+        entries.push_back(e.path());
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &p : entries) {
+        if (fs::is_directory(p)) {
+            if (!isExcludedDir(p.filename().string()))
+                walk(p, out);
+        } else if (hasSourceExtension(p)) {
+            out.push_back(p);
+        }
+    }
+}
+
+std::string
+relativeTo(const fs::path &root, const fs::path &p)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    std::string s = (ec || rel.empty()) ? p.string() : rel.string();
+    std::replace(s.begin(), s.end(), '\\', '/');
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+const char *const kRuleHelp[] = {
+    "D1  wall-clock/random/env/locale APIs outside the host-prof "
+    "allowlist",
+    "D2  direct float formatting outside src/common/json.hh "
+    "(printf float conversions, to_string(double), stream "
+    "manipulators)",
+    "D3  iteration over unordered containers in output-emitting "
+    "files",
+    "D4  raw stderr writes outside src/common/logging.cc",
+    "D5  volatile-as-synchronization / non-atomic mutable members",
+};
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: smtlint [options] [path...]\n"
+        "\n"
+        "Determinism-contract static analyzer. Paths may be files or\n"
+        "directories (recursed; build*/, .git/ and tests/lint_fixtures/\n"
+        "skipped). With no paths: src tools tests bench examples under\n"
+        "--root.\n"
+        "\n"
+        "options:\n"
+        "  --root DIR        repo root for relative paths (default: .)\n"
+        "  --allowlist FILE  path-prefix exemptions (default:\n"
+        "                    ROOT/tools/smtlint/allowlist.txt if present;\n"
+        "                    'none' disables)\n"
+        "  --compdb FILE     add the files of a compile_commands.json\n"
+        "  --rules LIST      comma-separated subset of rules to run\n"
+        "  --list-rules      print the rule table and exit\n"
+        "  -h, --help        this text\n"
+        "\n"
+        "Suppress a single line with a trailing or preceding comment:\n"
+        "  // smtlint:allow(D1): <reason>\n"
+        "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n",
+        to);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string rootArg = ".";
+    std::string allowlistArg;
+    std::vector<std::string> compdbs;
+    std::vector<std::string> pathArgs;
+    std::set<std::string> enabled(std::begin(kRuleIds),
+                                  std::end(kRuleIds));
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+                std::fprintf(stderr, "smtlint: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--root") {
+            rootArg = value("--root");
+        } else if (a == "--allowlist") {
+            allowlistArg = value("--allowlist");
+        } else if (a == "--compdb") {
+            compdbs.push_back(value("--compdb"));
+        } else if (a == "--rules") {
+            enabled.clear();
+            std::string cur;
+            for (const char c : std::string(value("--rules")) + ",") {
+                if (c == ',') {
+                    if (!cur.empty()) {
+                        if (!isKnownRule(cur)) {
+                            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+                            std::fprintf(stderr,
+                                         "smtlint: unknown rule "
+                                         "'%s'\n",
+                                         cur.c_str());
+                            return 2;
+                        }
+                        enabled.insert(cur);
+                    }
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+        } else if (a == "--list-rules") {
+            for (const char *h : kRuleHelp)
+                std::printf("%s\n", h);
+            return 0;
+        } else if (a == "-h" || a == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+            std::fprintf(stderr, "smtlint: unknown option '%s'\n",
+                         a.c_str());
+            usage(stderr); // smtlint:allow(D4): same single-threaded CLI error path
+            return 2;
+        } else {
+            pathArgs.push_back(a);
+        }
+    }
+
+    const fs::path root = fs::absolute(rootArg);
+    if (!fs::exists(root)) {
+        // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+        std::fprintf(stderr, "smtlint: root '%s' does not exist\n",
+                     rootArg.c_str());
+        return 2;
+    }
+
+    // Allowlist: explicit path, or the checked-in default.
+    std::vector<AllowEntry> allow;
+    std::string err;
+    if (allowlistArg != "none") {
+        std::string path = allowlistArg;
+        if (path.empty()) {
+            const fs::path def = root / "tools/smtlint/allowlist.txt";
+            if (fs::exists(def))
+                path = def.string();
+        }
+        if (!path.empty() && !loadAllowlist(path, allow, err)) {
+            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+            std::fprintf(stderr, "smtlint: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    // Build the file list: positional paths + compile databases,
+    // defaulting to the whole tree. Deterministic order, deduped.
+    std::vector<fs::path> files;
+    if (pathArgs.empty() && compdbs.empty())
+        pathArgs = {"src", "tools", "tests", "bench", "examples"};
+    for (const std::string &p : pathArgs) {
+        fs::path abs = fs::path(p).is_absolute() ? fs::path(p)
+                                                 : root / p;
+        if (fs::is_directory(abs)) {
+            walk(abs, files);
+        } else if (fs::exists(abs)) {
+            files.push_back(abs);
+        } else {
+            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+            std::fprintf(stderr, "smtlint: no such path '%s'\n",
+                         p.c_str());
+            return 2;
+        }
+    }
+    for (const std::string &db : compdbs) {
+        std::vector<std::string> entries;
+        if (!loadCompdb(db, entries, err)) {
+            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+            std::fprintf(stderr, "smtlint: %s\n", err.c_str());
+            return 2;
+        }
+        for (const std::string &e : entries) {
+            fs::path abs = fs::path(e).is_absolute() ? fs::path(e)
+                                                     : root / e;
+            // Only lint files that live under the repo root; the
+            // compile database also names generated/vendored TUs.
+            const std::string rel = relativeTo(root, abs);
+            if (rel.rfind("..", 0) == 0 || rel.rfind("build", 0) == 0)
+                continue;
+            if (fs::exists(abs) && hasSourceExtension(abs))
+                files.push_back(abs);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> all;
+    for (const fs::path &p : files) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            // smtlint:allow(D4): lint driver CLI errors; single-threaded by construction
+            std::fprintf(stderr, "smtlint: cannot read '%s'\n",
+                         p.string().c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const LexedFile lf = lexFile(relativeTo(root, p), buf.str());
+        const FileAnalysis fa = analyzeFile(lf);
+        std::vector<Finding> raw;
+        runRules(lf, fa, enabled, raw);
+        const std::vector<Finding> kept =
+            filterFindings(raw, lf, allow);
+        all.insert(all.end(), kept.begin(), kept.end());
+    }
+
+    std::sort(all.begin(), all.end());
+    for (const Finding &fd : all)
+        std::printf("%s:%d: %s %s\n", fd.file.c_str(), fd.line,
+                    fd.rule.c_str(), fd.message.c_str());
+    if (!all.empty()) {
+        // smtlint:allow(D4): lint driver summary; single-threaded by construction
+        std::fprintf(stderr,
+                     "smtlint: %zu finding(s) in %zu file(s)\n",
+                     all.size(), files.size());
+        return 1;
+    }
+    return 0;
+}

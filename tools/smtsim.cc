@@ -223,6 +223,7 @@ selftest()
         const double ipc = ps.ipc(t);
         if (std::isnan(ipc) || ipc <= 0.0) {
             std::fprintf(stderr,
+                         // smtlint:allow(D2): diagnostic for a human; C locale is pinned (D1 bans setlocale)
                          "selftest: thread %d IPC %.4f is NaN/zero\n",
                          t, ipc);
             ok = false;
@@ -267,6 +268,7 @@ selftest()
     for (const ThreadResult &t : c1.threads) {
         if (std::isnan(t.ipc) || t.ipc <= 0.0) {
             std::fprintf(stderr,
+                         // smtlint:allow(D2): diagnostic for a human; C locale is pinned (D1 bans setlocale)
                          "selftest: chip thread %s IPC %.4f is "
                          "NaN/zero\n", t.bench.c_str(), t.ipc);
             ok = false;
@@ -293,8 +295,9 @@ selftest()
                      "migrated a thread\n");
         ok = false;
     }
+    // smtlint:allow(D2): human-facing selftest summary; C locale is pinned (D1 bans setlocale)
     std::printf("selftest: %s (throughput %.3f over %llu cycles; "
-                "2-core chip %.3f over %llu cycles, %llu "
+                "2-core chip %.3f over %llu cycles, %llu " // smtlint:allow(D2): same summary line
                 "migrations)\n",
                 ok ? "PASS" : "FAIL", throughput,
                 static_cast<unsigned long long>(ps.cycles), chipTp,
@@ -1051,6 +1054,7 @@ main(int argc, char **argv)
         } else if (arg == "--list-benchmarks") {
             for (const auto &b : allBenchNames()) {
                 const BenchProfile &p = benchProfile(b);
+                // smtlint:allow(D2): human-facing table; C locale is pinned (D1 bans setlocale)
                 std::printf("%-8s %s  %s  (paper L2 miss %.1f%%)\n",
                             b.c_str(), p.isFp ? "FP " : "INT",
                             isMemBench(b) ? "MEM" : "ILP",
@@ -1199,6 +1203,7 @@ main(int argc, char **argv)
         }
     }
 
+    // smtlint:allow(D2): width-padded human report; C locale is pinned (D1 bans setlocale)
     std::printf("policy=%s cycles=%llu throughput=%.3f mlp=%.2f\n",
                 policyKindName(policy),
                 static_cast<unsigned long long>(r.cycles),
@@ -1210,6 +1215,7 @@ main(int argc, char **argv)
             : 0.0;
         std::printf("chip: cores=%d contexts=%d allocator=%s "
                     "epoch=%llu migrations=%llu llc-acc=%llu "
+                    // smtlint:allow(D2): width-padded human report; C locale is pinned (D1 bans setlocale)
                     "llc-miss=%.2f%% llc-arbiter=%s "
                     "share-reassignments=%llu\n",
                     cfg.soc.numCores, cfg.soc.contextsPerCore,
@@ -1245,8 +1251,9 @@ main(int argc, char **argv)
             ? 100.0 * static_cast<double>(t.l1dMisses) /
                 static_cast<double>(t.l1dAccesses)
             : 0.0;
+        // smtlint:allow(D2): width-padded human report; C locale is pinned (D1 bans setlocale)
         std::printf("%-8s %10llu %7.3f %9llu %9llu %7.2f%% %7.2f%% "
-                    "%7.2f%% %8llu\n",
+                    "%7.2f%% %8llu\n", // smtlint:allow(D2): same report row
                     t.bench.c_str(),
                     static_cast<unsigned long long>(t.committed),
                     t.ipc,
@@ -1257,6 +1264,7 @@ main(int argc, char **argv)
     }
     std::printf("phase mix (cycles with n slow threads):");
     for (std::size_t n = 0; n < r.slowPhaseCycles.size(); ++n) {
+        // smtlint:allow(D2): width-padded human report; C locale is pinned (D1 bans setlocale)
         std::printf(" %zu-slow=%.1f%%", n,
                     100.0 *
                         static_cast<double>(r.slowPhaseCycles[n]) /
